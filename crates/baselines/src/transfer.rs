@@ -1,0 +1,84 @@
+//! PCIe host↔device transfer model.
+//!
+//! The paper measured CPU↔GPU copy times with the CUDA timer on real
+//! hardware (§5.3); we model them analytically: a fixed per-transfer
+//! latency plus words over sustained bandwidth. Fig. 10 only depends on
+//! *relative* volumes (R-Naive moves everything twice, R-Thread doubles
+//! the output), so the exact constants matter little.
+
+use warped_kernels::Footprint;
+
+/// Bandwidth/latency model of the host↔device link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieModel {
+    /// Sustained bandwidth in GB/s (PCIe 2.0 x16 era: ~4 GB/s).
+    pub bandwidth_gbps: f64,
+    /// Fixed per-direction latency in microseconds (driver + DMA setup).
+    pub latency_us: f64,
+}
+
+impl Default for PcieModel {
+    fn default() -> Self {
+        PcieModel {
+            bandwidth_gbps: 4.0,
+            latency_us: 10.0,
+        }
+    }
+}
+
+impl PcieModel {
+    /// Time to move `words` 32-bit words in one direction, in
+    /// nanoseconds.
+    pub fn transfer_ns(&self, words: u64) -> f64 {
+        if words == 0 {
+            return 0.0;
+        }
+        let bytes = words as f64 * 4.0;
+        self.latency_us * 1000.0 + bytes / self.bandwidth_gbps
+    }
+
+    /// Round-trip time for a workload footprint: input down, output up.
+    pub fn footprint_ns(&self, fp: &Footprint) -> f64 {
+        self.transfer_ns(fp.input_words) + self.transfer_ns(fp.output_words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_words_cost_nothing() {
+        assert_eq!(PcieModel::default().transfer_ns(0), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_linearly() {
+        let m = PcieModel::default();
+        let one = m.transfer_ns(1 << 20);
+        let two = m.transfer_ns(2 << 20);
+        // Subtracting the fixed latency, time doubles with volume.
+        let lat = m.latency_us * 1000.0;
+        assert!(((two - lat) / (one - lat) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gigabyte_takes_a_quarter_second_at_4gbps() {
+        let m = PcieModel::default();
+        let ns = m.transfer_ns(1 << 28); // 1 GiB of words = 2^28 words * 4B
+        assert!((ns * 1e-9 - 0.25 * 1.073_741_824).abs() < 0.01);
+    }
+
+    #[test]
+    fn footprint_sums_both_directions() {
+        let m = PcieModel {
+            bandwidth_gbps: 4.0,
+            latency_us: 0.0,
+        };
+        let fp = Footprint {
+            input_words: 1000,
+            output_words: 500,
+        };
+        assert!((m.footprint_ns(&fp) - (4000.0 + 2000.0) / 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,67 @@
+//! The cost of protection itself: simulation wall time under Null / DMTR /
+//! Warped-DMR observers, the ReplayQ size ablation, and the raw RFU
+//! pairing rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use warped::baselines::Dmtr;
+use warped::dmr::{rfu, DmrConfig, WarpedDmr};
+use warped::kernels::{Benchmark, WorkloadSize};
+use warped::sim::NullObserver;
+use warped_bench::bench_config;
+
+fn bench_observers(c: &mut Criterion) {
+    let cfg = bench_config();
+    let w = Benchmark::Scan.build(WorkloadSize::Tiny).unwrap();
+    let mut group = c.benchmark_group("scan_under_observer");
+    group.sample_size(10);
+    group.bench_function("unprotected", |b| {
+        b.iter(|| black_box(w.run_with(&cfg.gpu, &mut NullObserver).unwrap()))
+    });
+    group.bench_function("dmtr", |b| {
+        b.iter(|| {
+            let mut d = Dmtr::new();
+            black_box(w.run_with(&cfg.gpu, &mut d).unwrap())
+        })
+    });
+    group.bench_function("warped_dmr", |b| {
+        b.iter(|| {
+            let mut e = WarpedDmr::new(DmrConfig::default(), &cfg.gpu);
+            black_box(w.run_with(&cfg.gpu, &mut e).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_replayq_sizes(c: &mut Criterion) {
+    let cfg = bench_config();
+    let w = Benchmark::Sha.build(WorkloadSize::Tiny).unwrap();
+    let mut group = c.benchmark_group("sha_replayq");
+    group.sample_size(10);
+    for q in [0usize, 1, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| {
+                let mut e = WarpedDmr::new(DmrConfig::default().with_replayq(q), &cfg.gpu);
+                black_box(w.run_with(&cfg.gpu, &mut e).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rfu(c: &mut Criterion) {
+    c.bench_function("rfu_assign_all_masks", |b| {
+        b.iter(|| {
+            for mask in 0u32..16 {
+                black_box(rfu::assign(mask, 4));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    name = dmr_engine;
+    config = Criterion::default().sample_size(10);
+    targets = bench_observers, bench_replayq_sizes, bench_rfu
+);
+criterion_main!(dmr_engine);

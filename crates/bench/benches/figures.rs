@@ -1,0 +1,74 @@
+//! One Criterion group per paper figure: each benchmark regenerates the
+//! figure's data through the shared experiment harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use warped::experiments::{coverage_profile, fig1, fig10, fig11, fig5, fig8, fig9a, fig9b};
+use warped_bench::bench_config;
+
+fn bench_fig1(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("fig1_active_threads", |b| {
+        b.iter(|| black_box(fig1::run(&cfg).unwrap()))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("fig5_unit_mix", |b| {
+        b.iter(|| black_box(fig5::run(&cfg).unwrap()))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("fig8a_switch_distances", |b| {
+        b.iter(|| black_box(fig8::run_switch_distances(&cfg).unwrap()))
+    });
+    c.bench_function("fig8b_raw_distances", |b| {
+        b.iter(|| black_box(fig8::run_raw_distances(&cfg).unwrap()))
+    });
+}
+
+fn bench_fig9a(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("fig9a_coverage", |b| {
+        b.iter(|| black_box(fig9a::run(&cfg).unwrap()))
+    });
+}
+
+fn bench_fig9b(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("fig9b_replayq_sweep", |b| {
+        b.iter(|| black_box(fig9b::run(&cfg).unwrap()))
+    });
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("coverage_profile", |b| {
+        b.iter(|| black_box(coverage_profile::run(&cfg).unwrap()))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("fig10_schemes", |b| {
+        b.iter(|| black_box(fig10::run(&cfg).unwrap()))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let cfg = bench_config();
+    c.bench_function("fig11_power_energy", |b| {
+        b.iter(|| black_box(fig11::run(&cfg).unwrap()))
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1, bench_fig5, bench_fig8, bench_fig9a, bench_fig9b, bench_fig10,
+        bench_fig11, bench_profile
+);
+criterion_main!(figures);

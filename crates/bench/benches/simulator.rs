@@ -1,0 +1,44 @@
+//! Raw simulator throughput: wall time to functionally execute and time
+//! each benchmark kernel, plus Criterion throughput in simulated cycles.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use warped::kernels::{Benchmark, WorkloadSize};
+use warped::sim::NullObserver;
+use warped_bench::bench_config;
+
+fn bench_workloads(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for bench in Benchmark::ALL {
+        let w = bench.build(WorkloadSize::Tiny).unwrap();
+        let cycles = w
+            .run_with(&cfg.gpu, &mut NullObserver)
+            .unwrap()
+            .stats
+            .cycles;
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_function(bench.name(), |b| {
+            b.iter(|| black_box(w.run_with(&cfg.gpu, &mut NullObserver).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_assembly(c: &mut Criterion) {
+    c.bench_function("assemble_all_kernels", |b| {
+        b.iter(|| {
+            for bench in Benchmark::ALL {
+                black_box(bench.build(WorkloadSize::Tiny).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group!(
+    name = simulator;
+    config = Criterion::default().sample_size(10);
+    targets = bench_workloads, bench_kernel_assembly
+);
+criterion_main!(simulator);

@@ -1,0 +1,31 @@
+//! # warped-bench
+//!
+//! Criterion benchmark harness for the Warped-DMR reproduction. The
+//! benches live in `benches/` and measure, per paper figure, the cost of
+//! regenerating its data:
+//!
+//! * `figures` — one Criterion group per evaluation figure
+//!   (Fig. 1/5/8a/8b/9a/9b/10/11), each invoking the shared experiment
+//!   harness in [`warped::experiments`].
+//! * `simulator` — raw simulation throughput per benchmark kernel
+//!   (cycles simulated per wall second).
+//! * `dmr_engine` — the observation cost of the Warped-DMR engine itself
+//!   (Null vs DMTR vs Warped-DMR on a fixed workload, and the ReplayQ
+//!   size sweep).
+//!
+//! Run with `cargo bench --workspace`.
+
+/// The experiment scale used by all benches: tiny inputs on a 2-SM chip,
+/// so a full `cargo bench` stays in minutes.
+pub fn bench_config() -> warped::experiments::ExperimentConfig {
+    warped::experiments::ExperimentConfig::test_tiny()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_config_is_tiny() {
+        let cfg = super::bench_config();
+        assert_eq!(cfg.gpu.num_sms, 2);
+    }
+}

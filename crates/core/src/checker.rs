@@ -1,0 +1,425 @@
+//! The Replay Checker (paper §4.3, Fig. 7, Algorithm 1): per-SM control
+//! for inter-warp DMR.
+//!
+//! The checker watches consecutive issue slots — the instruction issued
+//! one cycle earlier is "in RF" while the current one is "in DEC/SCHED".
+//! For every fully-utilized instruction `A` in RF it decides, given the
+//! incoming instruction `B`:
+//!
+//! 1. `type(A) != type(B)` → `A`'s DMR copy co-executes on its (idle)
+//!    unit while `B` executes: **free**.
+//! 2. same type, the ReplayQ holds an entry `q` of a different type →
+//!    `q` verifies now, `A` is enqueued.
+//! 3. same type, ReplayQ full → one stall cycle; `A` re-executes eagerly
+//!    using the operands still in the pipeline.
+//! 4. otherwise → enqueue `A`.
+//!
+//! Idle issue slots verify the pending RF instruction or drain one queued
+//! entry. A consumer reading an *unverified* result stalls until its
+//! producer verifies (RAW rule). At kernel end the queue drains, one
+//! entry per cycle.
+
+use crate::replayq::{ReplayEntry, ReplayQ};
+use warped_isa::{Reg, UnitType};
+use warped_sim::WARP_SIZE;
+
+/// How an instruction got verified (for the coverage/overhead breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyKind {
+    /// Co-executed with a different-type successor (Algorithm 1 case 1).
+    CoExecute,
+    /// Dequeued from the ReplayQ alongside a different-type instruction
+    /// (case 2).
+    QueueCoExecute,
+    /// Verified in an idle issue slot.
+    IdleSlot,
+    /// ReplayQ full: eager re-execution behind a 1-cycle stall (case 3).
+    EagerStall,
+    /// Forced verification of an unverified producer before a dependent
+    /// consumer issues (RAW rule), 1 stall cycle each.
+    RawStall,
+    /// Drained at kernel end or into a spare slot.
+    Drain,
+}
+
+/// A verification event: `entry` was verified at `cycle` via `kind`.
+#[derive(Debug, Clone)]
+pub struct VerifyEvent {
+    /// The instruction being verified.
+    pub entry: ReplayEntry,
+    /// How the verification slot was obtained.
+    pub kind: VerifyKind,
+    /// Cycle of the redundant execution.
+    pub cycle: u64,
+}
+
+/// The incoming (DEC-stage) instruction, as the checker sees it.
+#[derive(Debug, Clone)]
+pub struct Incoming {
+    /// Issuing warp (global uid).
+    pub warp_uid: u64,
+    /// Unit type it occupies.
+    pub unit: UnitType,
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// Source registers (RAW rule).
+    pub srcs: [Option<Reg>; 4],
+    /// Issue cycle.
+    pub cycle: u64,
+    /// Whether all 32 lanes are active *and* the instruction produces a
+    /// verifiable result (only such instructions enter inter-warp DMR).
+    pub needs_inter: bool,
+    /// Active mask.
+    pub mask: u32,
+    /// Per-lane fault-free results.
+    pub results: [u32; WARP_SIZE],
+}
+
+/// Counters for the checker's behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckerStats {
+    /// Verifications by kind, indexed like [`VerifyKind`] declaration
+    /// order.
+    pub verified: [u64; 6],
+    /// Instructions that passed through the ReplayQ.
+    pub enqueued: u64,
+    /// Stall cycles charged (eager + RAW).
+    pub stall_cycles: u64,
+    /// Cycles spent draining at kernel end.
+    pub drain_cycles: u64,
+    /// High-water mark of queue occupancy.
+    pub max_queue: usize,
+}
+
+impl CheckerStats {
+    /// Total verified instructions.
+    pub fn total_verified(&self) -> u64 {
+        self.verified.iter().sum()
+    }
+
+    fn bump(&mut self, kind: VerifyKind) {
+        self.verified[kind as usize] += 1;
+    }
+}
+
+/// Per-SM Replay Checker state.
+#[derive(Debug)]
+pub struct ReplayChecker {
+    queue: ReplayQ,
+    prev: Option<ReplayEntry>,
+    /// Behaviour counters.
+    pub stats: CheckerStats,
+}
+
+impl ReplayChecker {
+    /// Create a checker with a ReplayQ of `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ReplayChecker {
+            queue: ReplayQ::new(capacity),
+            prev: None,
+            stats: CheckerStats::default(),
+        }
+    }
+
+    /// Current queue occupancy (diagnostics).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether an instruction of `warp_uid` writing `dst` is still
+    /// unverified (pending RF slot or buffered).
+    pub fn has_unverified(&self, warp_uid: u64) -> bool {
+        self.prev.as_ref().is_some_and(|p| p.warp_uid == warp_uid)
+            || self.queue.iter().any(|e| e.warp_uid == warp_uid)
+    }
+
+    /// Process one issued instruction. Pushes verification events and
+    /// returns stall cycles to charge the SM.
+    pub fn on_issue(&mut self, b: &Incoming, events: &mut Vec<VerifyEvent>) -> u64 {
+        let mut stalls = 0u64;
+
+        // RAW on unverified results: verify every conflicting producer
+        // first, one stall cycle each (paper §4.3).
+        while let Some(e) = self.queue.take_raw_hazard(b.warp_uid, &b.srcs) {
+            stalls += 1;
+            self.stats.bump(VerifyKind::RawStall);
+            events.push(VerifyEvent {
+                entry: e,
+                kind: VerifyKind::RawStall,
+                cycle: b.cycle + stalls,
+            });
+        }
+
+        if let Some(a) = self.prev.take() {
+            if a.unit != b.unit {
+                // Case 1: co-execute the DMR copy of A on its idle unit.
+                self.stats.bump(VerifyKind::CoExecute);
+                events.push(VerifyEvent {
+                    entry: a,
+                    kind: VerifyKind::CoExecute,
+                    cycle: b.cycle,
+                });
+            } else if let Some(q) = self.queue.take_different_type(a.unit) {
+                // Case 2: a queued different-type entry verifies now;
+                // A takes its place in the queue.
+                self.stats.bump(VerifyKind::QueueCoExecute);
+                events.push(VerifyEvent {
+                    entry: q,
+                    kind: VerifyKind::QueueCoExecute,
+                    cycle: b.cycle,
+                });
+                self.queue.push(a);
+                self.stats.enqueued += 1;
+            } else if self.queue.is_full() {
+                // Case 3: stall one cycle, re-execute eagerly.
+                stalls += 1;
+                self.stats.bump(VerifyKind::EagerStall);
+                events.push(VerifyEvent {
+                    entry: a,
+                    kind: VerifyKind::EagerStall,
+                    cycle: b.cycle + 1,
+                });
+            } else {
+                // Case 4: buffer for later.
+                self.queue.push(a);
+                self.stats.enqueued += 1;
+            }
+        } else if let Some(q) = self.queue.take_different_type(b.unit) {
+            // Spare verification slot: drain one compatible entry.
+            self.stats.bump(VerifyKind::Drain);
+            events.push(VerifyEvent {
+                entry: q,
+                kind: VerifyKind::Drain,
+                cycle: b.cycle,
+            });
+        }
+
+        if b.needs_inter {
+            self.prev = Some(ReplayEntry {
+                warp_uid: b.warp_uid,
+                unit: b.unit,
+                dst: b.dst,
+                cycle: b.cycle,
+                mask: b.mask,
+                results: b.results,
+            });
+        }
+        self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
+        self.stats.stall_cycles += stalls;
+        stalls
+    }
+
+    /// Process an idle issue slot: all units are free, so the pending RF
+    /// instruction (or one queued entry) verifies for free.
+    pub fn on_idle(&mut self, cycle: u64, events: &mut Vec<VerifyEvent>) {
+        if let Some(a) = self.prev.take() {
+            self.stats.bump(VerifyKind::IdleSlot);
+            events.push(VerifyEvent {
+                entry: a,
+                kind: VerifyKind::IdleSlot,
+                cycle,
+            });
+        } else if let Some(q) = self.queue.take_any() {
+            self.stats.bump(VerifyKind::Drain);
+            events.push(VerifyEvent {
+                entry: q,
+                kind: VerifyKind::Drain,
+                cycle,
+            });
+        }
+    }
+
+    /// Kernel end: verify the pending instruction for free (units go
+    /// idle) and drain the queue, one entry per cycle. Returns the cycles
+    /// appended to the SM's completion time.
+    pub fn on_done(&mut self, cycle: u64, events: &mut Vec<VerifyEvent>) -> u64 {
+        if let Some(a) = self.prev.take() {
+            self.stats.bump(VerifyKind::IdleSlot);
+            events.push(VerifyEvent {
+                entry: a,
+                kind: VerifyKind::IdleSlot,
+                cycle,
+            });
+        }
+        let mut extra = 0;
+        while let Some(q) = self.queue.take_any() {
+            extra += 1;
+            self.stats.bump(VerifyKind::Drain);
+            events.push(VerifyEvent {
+                entry: q,
+                kind: VerifyKind::Drain,
+                cycle: cycle + extra,
+            });
+        }
+        self.stats.drain_cycles += extra;
+        extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn incoming(warp: u64, unit: UnitType, cycle: u64, full: bool) -> Incoming {
+        Incoming {
+            warp_uid: warp,
+            unit,
+            dst: Some(Reg(1)),
+            srcs: [None; 4],
+            cycle,
+            needs_inter: full,
+            mask: u32::MAX,
+            results: [0; WARP_SIZE],
+        }
+    }
+
+    #[test]
+    fn alternating_types_verify_free() {
+        // Paper Fig. 4: interleaved add/load verifies with zero stalls.
+        let mut c = ReplayChecker::new(10);
+        let mut ev = Vec::new();
+        let units = [UnitType::Sp, UnitType::LdSt, UnitType::Sp, UnitType::LdSt];
+        let mut stalls = 0;
+        for (t, u) in units.iter().enumerate() {
+            stalls += c.on_issue(&incoming(t as u64, *u, t as u64, true), &mut ev);
+        }
+        stalls += c.on_done(4, &mut ev);
+        assert_eq!(stalls, 0, "alternating types must be free");
+        assert_eq!(ev.len(), 4);
+        assert_eq!(c.stats.verified[VerifyKind::CoExecute as usize], 3);
+        assert_eq!(c.stats.verified[VerifyKind::IdleSlot as usize], 1);
+    }
+
+    #[test]
+    fn same_type_run_fills_queue_then_stalls() {
+        let mut c = ReplayChecker::new(2);
+        let mut ev = Vec::new();
+        let mut stalls = 0;
+        for t in 0..5u64 {
+            stalls += c.on_issue(&incoming(t, UnitType::Sp, t, true), &mut ev);
+        }
+        // Instructions 0,1 enqueue; resolving 2 and 3 find a full queue
+        // of same-type entries -> eager stalls.
+        assert_eq!(stalls, 2);
+        assert_eq!(c.stats.verified[VerifyKind::EagerStall as usize], 2);
+        assert_eq!(c.queue_len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_queue_stalls_every_same_type_pair() {
+        let mut c = ReplayChecker::new(0);
+        let mut ev = Vec::new();
+        let mut stalls = 0;
+        for t in 0..4u64 {
+            stalls += c.on_issue(&incoming(t, UnitType::Sp, t, true), &mut ev);
+        }
+        assert_eq!(stalls, 3, "every resolved same-type pair stalls");
+    }
+
+    #[test]
+    fn queued_entry_coexecutes_with_different_type_later() {
+        let mut c = ReplayChecker::new(10);
+        let mut ev = Vec::new();
+        // Two SP instructions: first gets enqueued.
+        c.on_issue(&incoming(0, UnitType::Sp, 0, true), &mut ev);
+        c.on_issue(&incoming(1, UnitType::Sp, 1, true), &mut ev);
+        assert_eq!(c.queue_len(), 1);
+        // An LD/ST arrives: prev (SP) co-executes (case 1).
+        c.on_issue(&incoming(2, UnitType::LdSt, 2, true), &mut ev);
+        assert_eq!(c.stats.verified[VerifyKind::CoExecute as usize], 1);
+        // Another LD/ST: prev is LD/ST, same type; queue holds an SP ->
+        // case 2 verifies the queued SP.
+        c.on_issue(&incoming(3, UnitType::LdSt, 3, true), &mut ev);
+        assert_eq!(c.stats.verified[VerifyKind::QueueCoExecute as usize], 1);
+        assert_eq!(c.queue_len(), 1); // the LD/ST took its place
+    }
+
+    #[test]
+    fn idle_slot_verifies_pending_then_drains() {
+        let mut c = ReplayChecker::new(10);
+        let mut ev = Vec::new();
+        c.on_issue(&incoming(0, UnitType::Sp, 0, true), &mut ev);
+        c.on_issue(&incoming(1, UnitType::Sp, 1, true), &mut ev); // 0 enqueued
+        c.on_idle(2, &mut ev); // verifies pending instr 1
+        assert_eq!(c.stats.verified[VerifyKind::IdleSlot as usize], 1);
+        c.on_idle(3, &mut ev); // drains instr 0
+        assert_eq!(c.stats.verified[VerifyKind::Drain as usize], 1);
+        assert_eq!(c.queue_len(), 0);
+    }
+
+    #[test]
+    fn raw_hazard_forces_verification_with_stall() {
+        let mut c = ReplayChecker::new(10);
+        let mut ev = Vec::new();
+        let mut producer = incoming(7, UnitType::Sp, 0, true);
+        producer.dst = Some(Reg(5));
+        c.on_issue(&producer, &mut ev);
+        // Another same-type instruction pushes the producer into the queue.
+        c.on_issue(&incoming(7, UnitType::Sp, 1, true), &mut ev);
+        assert!(c.has_unverified(7));
+        // A consumer of r5 in the same warp must stall.
+        let mut consumer = incoming(7, UnitType::Sp, 9, true);
+        consumer.srcs = [Some(Reg(5)), None, None, None];
+        let stalls = c.on_issue(&consumer, &mut ev);
+        assert_eq!(stalls, 1);
+        assert_eq!(c.stats.verified[VerifyKind::RawStall as usize], 1);
+    }
+
+    #[test]
+    fn partial_warps_still_resolve_the_rf_instruction() {
+        let mut c = ReplayChecker::new(10);
+        let mut ev = Vec::new();
+        c.on_issue(&incoming(0, UnitType::Sp, 0, true), &mut ev);
+        // Partial (needs_inter = false) different-type instruction still
+        // gives the pending SP a free co-execution slot.
+        c.on_issue(&incoming(1, UnitType::LdSt, 1, false), &mut ev);
+        assert_eq!(c.stats.verified[VerifyKind::CoExecute as usize], 1);
+        // And it does not become pending itself.
+        let extra = c.on_done(2, &mut ev);
+        assert_eq!(extra, 0);
+        assert_eq!(c.stats.total_verified(), 1);
+    }
+
+    #[test]
+    fn done_drains_one_entry_per_cycle() {
+        let mut c = ReplayChecker::new(10);
+        let mut ev = Vec::new();
+        for t in 0..4u64 {
+            c.on_issue(&incoming(t, UnitType::Sp, t, true), &mut ev);
+        }
+        // queue: 3 entries, prev: instr 3.
+        let extra = c.on_done(10, &mut ev);
+        assert_eq!(extra, 3);
+        assert_eq!(c.stats.drain_cycles, 3);
+        assert_eq!(c.stats.total_verified(), 4);
+        assert!(!c.has_unverified(0));
+    }
+
+    #[test]
+    fn every_inter_instruction_is_eventually_verified() {
+        // Pseudo-random unit sequence; at the end every instruction must
+        // have exactly one verification event.
+        let mut c = ReplayChecker::new(5);
+        let mut ev = Vec::new();
+        let units = [
+            UnitType::Sp,
+            UnitType::Sp,
+            UnitType::Sfu,
+            UnitType::Sp,
+            UnitType::LdSt,
+            UnitType::LdSt,
+            UnitType::LdSt,
+            UnitType::Sp,
+            UnitType::Sfu,
+            UnitType::Sp,
+        ];
+        for (t, u) in units.iter().enumerate() {
+            c.on_issue(&incoming(t as u64, *u, t as u64, true), &mut ev);
+        }
+        c.on_done(100, &mut ev);
+        assert_eq!(ev.len(), units.len());
+        let mut warps: Vec<u64> = ev.iter().map(|e| e.entry.warp_uid).collect();
+        warps.sort_unstable();
+        assert_eq!(warps, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,186 @@
+//! Result comparison and the fault-injection interface.
+//!
+//! In hardware, Warped-DMR's 128-bit comparator sits after writeback and
+//! raises an error to the scheduler when the original and redundant
+//! results differ (paper Fig. 6; synthesized at 622 µm², 0.068 ns). In
+//! simulation the redundant execution would trivially equal the original,
+//! so fault campaigns supply a [`FaultOracle`]: a model of how a given
+//! physical lane corrupts values at a given cycle. The comparator then
+//! sees exactly what hardware would see.
+
+/// A physical execution-unit site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneSite {
+    /// SM index on the chip.
+    pub sm: usize,
+    /// Physical SIMT lane within the SM.
+    pub lane: usize,
+}
+
+/// A model of faulty execution hardware. `transform` returns the value a
+/// computation producing `value` would actually yield on `site` at
+/// `cycle` (identity for healthy lanes).
+pub trait FaultOracle {
+    /// Corrupt (or pass through) `value` computed on `site` at `cycle`.
+    fn transform(&self, site: LaneSite, cycle: u64, value: u32) -> u32;
+}
+
+/// The always-healthy oracle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HealthyOracle;
+
+impl FaultOracle for HealthyOracle {
+    fn transform(&self, _site: LaneSite, _cycle: u64, value: u32) -> u32 {
+        value
+    }
+}
+
+/// One detected mismatch between original and redundant execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectedError {
+    /// SM where the comparator fired.
+    pub sm: usize,
+    /// Cycle of the verification (when the error became known).
+    pub cycle: u64,
+    /// Warp whose instruction mismatched.
+    pub warp_uid: u64,
+    /// Lane that executed the original computation.
+    pub original_lane: usize,
+    /// Lane that executed the redundant copy.
+    pub verifier_lane: usize,
+}
+
+/// Bounded log of detected errors (the scheduler would be interrupted on
+/// the first one; we keep a window of up to 4096 events for analysis).
+#[derive(Debug, Clone, Default)]
+pub struct ErrorLog {
+    events: Vec<DetectedError>,
+    total: u64,
+}
+
+impl ErrorLog {
+    const CAP: usize = 4096;
+
+    /// Record a detection.
+    pub fn record(&mut self, e: DetectedError) {
+        self.total += 1;
+        if self.events.len() < Self::CAP {
+            self.events.push(e);
+        }
+    }
+
+    /// Total detections (may exceed the stored window).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Stored events (the first 4096 at most; see [`ErrorLog::total`]).
+    pub fn events(&self) -> &[DetectedError] {
+        &self.events
+    }
+
+    /// Whether anything was detected.
+    pub fn any(&self) -> bool {
+        self.total > 0
+    }
+}
+
+/// Compare an original and a redundant execution of the same computation
+/// under `oracle`, recording a [`DetectedError`] on mismatch.
+///
+/// `value` is the fault-free result; the original ran on
+/// `original` at `orig_cycle`, the copy on `verifier` at `verify_cycle`.
+#[allow(clippy::too_many_arguments)]
+pub fn compare_and_log(
+    oracle: &dyn FaultOracle,
+    log: &mut ErrorLog,
+    sm: usize,
+    warp_uid: u64,
+    value: u32,
+    original: usize,
+    orig_cycle: u64,
+    verifier: usize,
+    verify_cycle: u64,
+) -> bool {
+    let o = oracle.transform(LaneSite { sm, lane: original }, orig_cycle, value);
+    let v = oracle.transform(LaneSite { sm, lane: verifier }, verify_cycle, value);
+    if o != v {
+        log.record(DetectedError {
+            sm,
+            cycle: verify_cycle,
+            warp_uid,
+            original_lane: original,
+            verifier_lane: verifier,
+        });
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Lane 3 of SM 0 is stuck: output bit 0 forced to 1.
+    struct StuckLane3;
+    impl FaultOracle for StuckLane3 {
+        fn transform(&self, site: LaneSite, _cycle: u64, value: u32) -> u32 {
+            if site.sm == 0 && site.lane == 3 {
+                value | 1
+            } else {
+                value
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_oracle_never_mismatches() {
+        let mut log = ErrorLog::default();
+        let hit = compare_and_log(&HealthyOracle, &mut log, 0, 7, 42, 3, 10, 0, 15);
+        assert!(!hit);
+        assert!(!log.any());
+    }
+
+    #[test]
+    fn stuck_lane_detected_when_verified_elsewhere() {
+        let mut log = ErrorLog::default();
+        // Original on faulty lane 3, copy on healthy lane 0: mismatch.
+        let hit = compare_and_log(&StuckLane3, &mut log, 0, 7, 42, 3, 10, 0, 15);
+        assert!(hit);
+        assert_eq!(log.total(), 1);
+        assert_eq!(log.events()[0].original_lane, 3);
+    }
+
+    #[test]
+    fn stuck_lane_hidden_when_verified_on_itself() {
+        // The paper's hidden-error scenario: same faulty core runs both.
+        let mut log = ErrorLog::default();
+        let hit = compare_and_log(&StuckLane3, &mut log, 0, 7, 42, 3, 10, 3, 15);
+        assert!(!hit, "same-core verification must hide the stuck-at fault");
+    }
+
+    #[test]
+    fn stuck_bit_already_set_is_benign() {
+        // Value 43 already has bit 0 set; the stuck-at-1 changes nothing.
+        let mut log = ErrorLog::default();
+        let hit = compare_and_log(&StuckLane3, &mut log, 0, 7, 43, 3, 10, 0, 15);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn log_caps_but_counts() {
+        let mut log = ErrorLog::default();
+        for i in 0..5000u64 {
+            log.record(DetectedError {
+                sm: 0,
+                cycle: i,
+                warp_uid: 0,
+                original_lane: 0,
+                verifier_lane: 1,
+            });
+        }
+        assert_eq!(log.total(), 5000);
+        assert_eq!(log.events().len(), 4096);
+    }
+}

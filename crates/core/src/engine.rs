@@ -1,0 +1,483 @@
+//! The Warped-DMR engine: ties intra-warp and inter-warp DMR to the
+//! simulator's issue stream.
+
+use crate::checker::{CheckerStats, Incoming, ReplayChecker, VerifyEvent};
+use crate::comparator::{compare_and_log, ErrorLog, FaultOracle};
+use crate::config::DmrConfig;
+use crate::intra;
+use crate::mapping::physical_lane;
+use crate::shuffle::verify_lane;
+use warped_sim::{GpuConfig, IssueInfo, IssueObserver, WARP_SIZE};
+
+/// Fig. 1 bucket index for an active-lane count.
+fn bucket_of(active: u32) -> usize {
+    match active {
+        0..=1 => 0,
+        2..=11 => 1,
+        12..=21 => 2,
+        22..=31 => 3,
+        _ => 4,
+    }
+}
+
+/// Coverage and overhead summary of one protected run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DmrReport {
+    /// Thread-instructions that produced verifiable results.
+    pub total_thread_instrs: u64,
+    /// Thread-instructions verified by intra-warp DMR.
+    pub intra_covered: u64,
+    /// Thread-instructions verified by inter-warp DMR.
+    pub inter_covered: u64,
+    /// Warp-instructions issued with a partial active mask.
+    pub partial_instrs: u64,
+    /// Warp-instructions issued fully utilized.
+    pub full_instrs: u64,
+    /// Partial-mask warp-instructions where intra-warp DMR verified only
+    /// a strict subset of the active lanes (the paper's "<4% of cases it
+    /// checks only a partial number of inputs").
+    pub partially_checked_instrs: u64,
+    /// Partial-mask warp-instructions where no active lane could be
+    /// verified (saturated clusters).
+    pub unchecked_partial_instrs: u64,
+    /// Thread-instructions per active-count bucket (paper Fig. 1 edges:
+    /// 1, 2-11, 12-21, 22-31, 32).
+    pub bucket_total: [u64; 5],
+    /// Covered thread-instructions per active-count bucket — the §3.3
+    /// breakdown of where coverage is lost.
+    pub bucket_covered: [u64; 5],
+    /// Aggregated Replay Checker behaviour over all SMs.
+    pub checker: CheckerStats,
+    /// Mismatches flagged by the comparator.
+    pub errors_detected: u64,
+}
+
+impl DmrReport {
+    /// Fraction of executed thread-instructions verified, in percent —
+    /// the paper's error-coverage metric (Fig. 9a).
+    pub fn coverage_pct(&self) -> f64 {
+        if self.total_thread_instrs == 0 {
+            0.0
+        } else {
+            100.0 * (self.intra_covered + self.inter_covered) as f64
+                / self.total_thread_instrs as f64
+        }
+    }
+
+    /// Verified thread-instructions.
+    pub fn covered_thread_instrs(&self) -> u64 {
+        self.intra_covered + self.inter_covered
+    }
+
+    /// Share of the coverage provided by intra-warp DMR.
+    pub fn intra_share(&self) -> f64 {
+        let c = self.covered_thread_instrs();
+        if c == 0 {
+            0.0
+        } else {
+            self.intra_covered as f64 / c as f64
+        }
+    }
+
+    /// Total stall cycles the DMR machinery charged.
+    pub fn stall_cycles(&self) -> u64 {
+        self.checker.stall_cycles
+    }
+
+    /// Coverage within one active-count bucket, percent.
+    pub fn bucket_coverage_pct(&self, bucket: usize) -> f64 {
+        if self.bucket_total[bucket] == 0 {
+            0.0
+        } else {
+            100.0 * self.bucket_covered[bucket] as f64 / self.bucket_total[bucket] as f64
+        }
+    }
+
+    /// Fraction of issued warp-instructions verified with only a partial
+    /// set of inputs (paper §6 claims < 4% for its workloads).
+    pub fn partial_check_fraction(&self) -> f64 {
+        let total = self.partial_instrs + self.full_instrs;
+        if total == 0 {
+            0.0
+        } else {
+            self.partially_checked_instrs as f64 / total as f64
+        }
+    }
+}
+
+/// The Warped-DMR engine. Attach it to a launch as an
+/// [`IssueObserver`]; see the [crate-level example](crate).
+pub struct WarpedDmr {
+    config: DmrConfig,
+    checkers: Vec<ReplayChecker>,
+    events: Vec<VerifyEvent>,
+    report: DmrReport,
+    errors: ErrorLog,
+    oracle: Option<Box<dyn FaultOracle>>,
+}
+
+impl std::fmt::Debug for WarpedDmr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarpedDmr")
+            .field("config", &self.config)
+            .field("report", &self.report)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WarpedDmr {
+    /// Create an engine for a GPU of `gpu.num_sms` SMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid for the warp size (see
+    /// [`DmrConfig::assert_valid`]).
+    pub fn new(config: DmrConfig, gpu: &GpuConfig) -> Self {
+        config.assert_valid(WARP_SIZE);
+        WarpedDmr {
+            checkers: (0..gpu.num_sms)
+                .map(|_| ReplayChecker::new(config.replayq_entries))
+                .collect(),
+            config,
+            events: Vec::new(),
+            report: DmrReport::default(),
+            errors: ErrorLog::default(),
+            oracle: None,
+        }
+    }
+
+    /// Create an engine whose comparator sees hardware through `oracle`
+    /// (fault-injection campaigns).
+    pub fn with_oracle(config: DmrConfig, gpu: &GpuConfig, oracle: Box<dyn FaultOracle>) -> Self {
+        let mut e = Self::new(config, gpu);
+        e.oracle = Some(oracle);
+        e
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DmrConfig {
+        &self.config
+    }
+
+    /// Coverage/overhead summary so far.
+    pub fn report(&self) -> DmrReport {
+        let mut r = self.report.clone();
+        r.checker = self
+            .checkers
+            .iter()
+            .fold(CheckerStats::default(), |mut acc, c| {
+                for i in 0..acc.verified.len() {
+                    acc.verified[i] += c.stats.verified[i];
+                }
+                acc.enqueued += c.stats.enqueued;
+                acc.stall_cycles += c.stats.stall_cycles;
+                acc.drain_cycles += c.stats.drain_cycles;
+                acc.max_queue = acc.max_queue.max(c.stats.max_queue);
+                acc
+            });
+        r.errors_detected = self.errors.total();
+        r
+    }
+
+    /// Detected-error log.
+    pub fn errors(&self) -> &ErrorLog {
+        &self.errors
+    }
+
+    fn checker(&mut self, sm: usize) -> &mut ReplayChecker {
+        if self.checkers.len() <= sm {
+            let cap = self.config.replayq_entries;
+            self.checkers
+                .resize_with(sm + 1, || ReplayChecker::new(cap));
+        }
+        &mut self.checkers[sm]
+    }
+
+    /// Run comparator checks for one inter-warp verification event.
+    fn settle_events(&mut self, sm: usize) {
+        let events = std::mem::take(&mut self.events);
+        for ev in &events {
+            let n = ev.entry.mask.count_ones();
+            self.report.inter_covered += u64::from(n);
+            self.report.bucket_covered[bucket_of(n)] += u64::from(n);
+            if let Some(oracle) = self.oracle.as_deref() {
+                for t in 0..WARP_SIZE {
+                    if ev.entry.mask & (1 << t) == 0 {
+                        continue;
+                    }
+                    let orig =
+                        physical_lane(self.config.mapping, t, WARP_SIZE, self.config.cluster_size);
+                    let ver = verify_lane(orig, self.config.cluster_size, self.config.lane_shuffle);
+                    compare_and_log(
+                        oracle,
+                        &mut self.errors,
+                        sm,
+                        ev.entry.warp_uid,
+                        ev.entry.results[t],
+                        orig,
+                        ev.entry.cycle,
+                        ver,
+                        ev.cycle,
+                    );
+                }
+            }
+        }
+        self.events = events;
+        self.events.clear();
+    }
+}
+
+impl IssueObserver for WarpedDmr {
+    fn on_issue(&mut self, info: &IssueInfo<'_>) -> u64 {
+        let active = u64::from(info.active_count());
+        let full = info.is_full();
+        if info.has_result {
+            self.report.total_thread_instrs += active;
+            self.report.bucket_total[bucket_of(active as u32)] += active;
+            if full {
+                self.report.full_instrs += 1;
+            } else {
+                self.report.partial_instrs += 1;
+            }
+        }
+
+        // Intra-warp DMR: spatial redundancy on idle lanes, zero cost.
+        if info.has_result && !full && self.config.enable_intra {
+            let plan = intra::plan(info.active_mask, &self.config, WARP_SIZE);
+            self.report.intra_covered += u64::from(plan.covered);
+            self.report.bucket_covered[bucket_of(plan.active)] += u64::from(plan.covered);
+            if plan.covered == 0 {
+                self.report.unchecked_partial_instrs += 1;
+            } else if plan.covered < plan.active {
+                self.report.partially_checked_instrs += 1;
+            }
+            if let Some(oracle) = self.oracle.as_deref() {
+                for (ver, act, thread) in &plan.pairs {
+                    compare_and_log(
+                        oracle,
+                        &mut self.errors,
+                        info.sm_id,
+                        info.warp_uid,
+                        info.results[*thread],
+                        *act,
+                        info.cycle,
+                        *ver,
+                        info.cycle,
+                    );
+                }
+            }
+        }
+
+        if !self.config.enable_inter {
+            return 0;
+        }
+        let incoming = Incoming {
+            warp_uid: info.warp_uid,
+            unit: info.unit,
+            dst: info.instr.dst(),
+            srcs: info.instr.src_regs(),
+            cycle: info.cycle,
+            needs_inter: full && info.has_result,
+            mask: info.active_mask,
+            results: *info.results,
+        };
+        let sm = info.sm_id;
+        let mut events = std::mem::take(&mut self.events);
+        let stalls = self.checker(sm).on_issue(&incoming, &mut events);
+        self.events = events;
+        self.settle_events(sm);
+        stalls
+    }
+
+    fn on_idle(&mut self, sm_id: usize, cycle: u64) {
+        if !self.config.enable_inter {
+            return;
+        }
+        let mut events = std::mem::take(&mut self.events);
+        self.checker(sm_id).on_idle(cycle, &mut events);
+        self.events = events;
+        self.settle_events(sm_id);
+    }
+
+    fn on_sm_done(&mut self, sm_id: usize, cycle: u64) -> u64 {
+        if !self.config.enable_inter {
+            return 0;
+        }
+        let mut events = std::mem::take(&mut self.events);
+        let drain = self.checker(sm_id).on_done(cycle, &mut events);
+        self.events = events;
+        self.settle_events(sm_id);
+        drain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparator::LaneSite;
+    use warped_kernels::{Benchmark, WorkloadSize};
+    use warped_sim::GpuConfig;
+
+    fn run(bench: Benchmark, config: DmrConfig) -> (DmrReport, u64) {
+        let gpu_cfg = GpuConfig::small();
+        let w = bench.build(WorkloadSize::Tiny).unwrap();
+        let mut dmr = WarpedDmr::new(config, &gpu_cfg);
+        let run = w.run_with(&gpu_cfg, &mut dmr).unwrap();
+        w.check(&run).unwrap();
+        (dmr.report(), run.stats.cycles)
+    }
+
+    #[test]
+    fn full_config_covers_everything_verifiable_on_matmul() {
+        // MatrixMul is always fully utilized: inter-warp DMR must verify
+        // 100% of it.
+        let (r, _) = run(Benchmark::MatrixMul, DmrConfig::default());
+        assert_eq!(r.partial_instrs, 0);
+        assert!(r.full_instrs > 0);
+        assert!((r.coverage_pct() - 100.0).abs() < 1e-9);
+        assert_eq!(r.intra_covered, 0);
+    }
+
+    #[test]
+    fn bfs_is_covered_mostly_by_intra_warp() {
+        let (r, _) = run(Benchmark::Bfs, DmrConfig::default());
+        assert!(r.coverage_pct() > 99.0, "got {}", r.coverage_pct());
+        assert!(r.intra_share() > 0.3, "intra share {}", r.intra_share());
+    }
+
+    #[test]
+    fn cross_mapping_beats_in_order_on_contiguous_divergence() {
+        // CUFFT's 24-contiguous-lane masks are the paper's motivating
+        // case for the modified thread-core mapping (§4.2).
+        let (cross, _) = run(Benchmark::Fft, DmrConfig::default());
+        let (in_order, _) = run(Benchmark::Fft, DmrConfig::baseline_in_order());
+        assert!(
+            cross.coverage_pct() > in_order.coverage_pct(),
+            "cross {} <= in-order {}",
+            cross.coverage_pct(),
+            in_order.coverage_pct()
+        );
+    }
+
+    #[test]
+    fn bigger_replayq_reduces_stalls() {
+        let (q0, _) = run(Benchmark::Sha, DmrConfig::default().with_replayq(0));
+        let (q10, _) = run(Benchmark::Sha, DmrConfig::default().with_replayq(10));
+        assert!(
+            q10.stall_cycles() <= q0.stall_cycles(),
+            "q10 {} > q0 {}",
+            q10.stall_cycles(),
+            q0.stall_cycles()
+        );
+        assert!(
+            q0.stall_cycles() > 0,
+            "SHA bursts must stall a 0-entry queue"
+        );
+    }
+
+    #[test]
+    fn disabled_mechanisms_drop_coverage() {
+        let cfg_no_inter = DmrConfig {
+            enable_inter: false,
+            ..DmrConfig::default()
+        };
+        let (r, _) = run(Benchmark::MatrixMul, cfg_no_inter);
+        assert_eq!(
+            r.coverage_pct(),
+            0.0,
+            "matmul without inter-warp is uncovered"
+        );
+
+        let cfg_no_intra = DmrConfig {
+            enable_intra: false,
+            ..DmrConfig::default()
+        };
+        let (r2, _) = run(Benchmark::Bfs, cfg_no_intra);
+        assert!(r2.coverage_pct() < 90.0);
+    }
+
+    #[test]
+    fn healthy_run_detects_no_errors() {
+        let gpu_cfg = GpuConfig::small();
+        let w = Benchmark::Scan.build(WorkloadSize::Tiny).unwrap();
+        let mut dmr = WarpedDmr::new(DmrConfig::default(), &gpu_cfg);
+        w.run_with(&gpu_cfg, &mut dmr).unwrap();
+        assert_eq!(dmr.report().errors_detected, 0);
+    }
+
+    #[test]
+    fn stuck_lane_is_detected_with_shuffle_but_not_without() {
+        struct Stuck;
+        impl FaultOracle for Stuck {
+            fn transform(&self, site: LaneSite, _c: u64, v: u32) -> u32 {
+                if site.lane == 5 {
+                    v ^ 0x8000_0000
+                } else {
+                    v
+                }
+            }
+        }
+        let gpu_cfg = GpuConfig::small();
+        let w = Benchmark::MatrixMul.build(WorkloadSize::Tiny).unwrap();
+
+        let mut with = WarpedDmr::with_oracle(DmrConfig::default(), &gpu_cfg, Box::new(Stuck));
+        w.run_with(&gpu_cfg, &mut with).unwrap();
+        assert!(
+            with.report().errors_detected > 0,
+            "lane shuffling must expose the stuck lane"
+        );
+
+        let cfg = DmrConfig {
+            lane_shuffle: false,
+            ..DmrConfig::default()
+        };
+        let mut without = WarpedDmr::with_oracle(cfg, &gpu_cfg, Box::new(Stuck));
+        w.run_with(&gpu_cfg, &mut without).unwrap();
+        assert_eq!(
+            without.report().errors_detected,
+            0,
+            "core affinity hides the stuck lane on fully-utilized warps"
+        );
+    }
+
+    #[test]
+    fn bucket_accounting_sums_to_totals() {
+        let gpu_cfg = GpuConfig::small();
+        for bench in [Benchmark::Fft, Benchmark::BitonicSort, Benchmark::MatrixMul] {
+            let w = bench.build(WorkloadSize::Tiny).unwrap();
+            let mut dmr = WarpedDmr::new(DmrConfig::default(), &gpu_cfg);
+            w.run_with(&gpu_cfg, &mut dmr).unwrap();
+            let r = dmr.report();
+            assert_eq!(
+                r.bucket_total.iter().sum::<u64>(),
+                r.total_thread_instrs,
+                "{bench}: bucket totals"
+            );
+            assert_eq!(
+                r.bucket_covered.iter().sum::<u64>(),
+                r.covered_thread_instrs(),
+                "{bench}: bucket covered"
+            );
+            for i in 0..5 {
+                assert!(
+                    r.bucket_covered[i] <= r.bucket_total[i],
+                    "{bench}: bucket {i} overcovered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_math() {
+        let r = DmrReport {
+            total_thread_instrs: 200,
+            intra_covered: 50,
+            inter_covered: 100,
+            ..Default::default()
+        };
+        assert!((r.coverage_pct() - 75.0).abs() < 1e-9);
+        assert!((r.intra_share() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.covered_thread_instrs(), 150);
+        assert_eq!(DmrReport::default().coverage_pct(), 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Intra-warp DMR (paper §3.1): spatial redundancy using idle lanes of a
+//! partially utilized warp.
+
+use crate::config::DmrConfig;
+use crate::mapping::{logical_thread, map_mask};
+use crate::rfu;
+
+/// The verification plan for one partially-utilized warp instruction.
+#[derive(Debug, Clone, Default)]
+pub struct IntraPlan {
+    /// `(verifier_physical_lane, verified_physical_lane,
+    /// verified_logical_thread)` triples across the whole warp.
+    pub pairs: Vec<(usize, usize, usize)>,
+    /// Distinct active threads verified.
+    pub covered: u32,
+    /// Active threads in the warp.
+    pub active: u32,
+}
+
+/// Plan intra-warp DMR for a warp with `logical_mask` under `config`.
+///
+/// The logical mask is permuted by the thread→core mapping, split into
+/// clusters, and each cluster's RFU picks verifier→verified pairs
+/// (the forwarding never crosses a cluster, §4.2).
+pub fn plan(logical_mask: u32, config: &DmrConfig, warp_size: usize) -> IntraPlan {
+    let cs = config.cluster_size;
+    let phys = map_mask(config.mapping, logical_mask, warp_size, cs);
+    let mut pairs = Vec::new();
+    let mut covered = 0u32;
+    for c in 0..warp_size / cs {
+        let cluster_mask = (phys >> (c * cs)) & ((1u32 << cs) - 1);
+        if cluster_mask == 0 || cluster_mask == (1 << cs) - 1 {
+            continue; // nothing to verify with, or nothing active
+        }
+        let a = rfu::assign(cluster_mask, cs);
+        covered += a.covered_count();
+        for (ver, act) in a.pairs {
+            let ver_lane = c * cs + ver;
+            let act_lane = c * cs + act;
+            let thread = logical_thread(config.mapping, act_lane, warp_size, cs);
+            pairs.push((ver_lane, act_lane, thread));
+        }
+    }
+    IntraPlan {
+        pairs,
+        covered,
+        active: logical_mask.count_ones(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThreadCoreMapping;
+
+    fn cfg(mapping: ThreadCoreMapping) -> DmrConfig {
+        DmrConfig {
+            mapping,
+            ..DmrConfig::default()
+        }
+    }
+
+    #[test]
+    fn fully_divergent_half_warp_is_fully_covered() {
+        // 16 active threads in the low half: in-order fills clusters 0..4
+        // fully -> zero coverage; cross mapping spreads 2 per cluster ->
+        // full coverage.
+        let mask = 0x0000_ffff;
+        let in_order = plan(mask, &cfg(ThreadCoreMapping::InOrder), 32);
+        assert_eq!(in_order.covered, 0);
+        let cross = plan(mask, &cfg(ThreadCoreMapping::CrossCluster), 32);
+        assert_eq!(cross.covered, 16);
+    }
+
+    #[test]
+    fn alternating_mask_favors_in_order() {
+        // Cross mapping targets *contiguous* divergence; a stride-2
+        // pattern is its worst case (even threads land in even clusters,
+        // saturating them) while in-order pairs perfectly.
+        let mask = 0x5555_5555; // every other thread
+        let in_order = plan(mask, &cfg(ThreadCoreMapping::InOrder), 32);
+        assert_eq!(in_order.covered, 16);
+        let cross = plan(mask, &cfg(ThreadCoreMapping::CrossCluster), 32);
+        assert_eq!(cross.covered, 0);
+    }
+
+    #[test]
+    fn cufft_style_24_of_32() {
+        // Contiguous 24 active: in-order covers none in the six saturated
+        // clusters but all of nothing else... only clusters 6,7 are idle
+        // and hold no active lanes. Cross mapping covers 8 (one per
+        // cluster).
+        let mask = (1u32 << 24) - 1;
+        assert_eq!(plan(mask, &cfg(ThreadCoreMapping::InOrder), 32).covered, 0);
+        assert_eq!(
+            plan(mask, &cfg(ThreadCoreMapping::CrossCluster), 32).covered,
+            8
+        );
+    }
+
+    #[test]
+    fn eight_lane_cluster_beats_in_order_four() {
+        // Threads 0..4 active: they saturate 4-lane cluster 0 (coverage 0)
+        // but half-fill an 8-lane cluster (full coverage).
+        let mask = 0x0000_000f;
+        let four = plan(mask, &DmrConfig::baseline_in_order(), 32);
+        let eight = plan(mask, &DmrConfig::eight_lane_cluster(), 32);
+        assert_eq!(four.covered, 0);
+        assert_eq!(eight.covered, 4);
+    }
+
+    #[test]
+    fn pairs_reference_real_threads() {
+        let mask = 0x0000_00ff; // threads 0..8
+        let p = plan(mask, &cfg(ThreadCoreMapping::CrossCluster), 32);
+        assert_eq!(p.covered, 8);
+        for (ver, act, thread) in &p.pairs {
+            assert_ne!(ver, act);
+            assert!(mask & (1 << thread) != 0, "verified thread must be active");
+            // Verifier and verified share a cluster.
+            assert_eq!(ver / 4, act / 4);
+        }
+    }
+
+    #[test]
+    fn full_warp_has_no_intra_plan() {
+        let p = plan(u32::MAX, &cfg(ThreadCoreMapping::CrossCluster), 32);
+        assert_eq!(p.covered, 0);
+        assert!(p.pairs.is_empty());
+        assert_eq!(p.active, 32);
+    }
+}

@@ -1,0 +1,221 @@
+//! The ReplayQ (paper §4.3): a small per-SM buffer of unverified
+//! instructions awaiting an idle execution unit.
+//!
+//! Each entry holds the opcode/unit type, the source values needed to
+//! re-execute, and the original result to compare against — ~516 bytes
+//! per entry, ~5 KB for the 10-entry queue the paper sizes from Fig. 8
+//! (type-switch distances ≤ 20, RAW distances ≥ 8 cycles).
+
+use std::collections::VecDeque;
+use warped_isa::{Reg, UnitType};
+use warped_sim::WARP_SIZE;
+
+/// One buffered, unverified instruction.
+#[derive(Debug, Clone)]
+pub struct ReplayEntry {
+    /// Issuing warp (global uid).
+    pub warp_uid: u64,
+    /// Execution unit the verification needs.
+    pub unit: UnitType,
+    /// Destination register (RAW hazards against consumers).
+    pub dst: Option<Reg>,
+    /// Issue cycle of the original execution.
+    pub cycle: u64,
+    /// Active mask (always full for inter-warp DMR, kept for generality).
+    pub mask: u32,
+    /// Original per-lane results (the comparator's reference values).
+    pub results: [u32; WARP_SIZE],
+}
+
+/// Fixed-capacity FIFO of unverified instructions with type-directed
+/// dequeue.
+#[derive(Debug, Clone)]
+pub struct ReplayQ {
+    entries: VecDeque<ReplayEntry>,
+    capacity: usize,
+}
+
+impl ReplayEntry {
+    /// Hardware storage cost of one entry (paper §4.3.1): 32 lanes ×
+    /// 3 source operands × 4 bytes, plus 32 lanes × 4 bytes of original
+    /// results, plus 2–4 bytes of opcode — "total of 514 ∼ 516 bytes".
+    pub const MIN_BYTES: usize = 32 * 3 * 4 + 32 * 4 + 2;
+    /// Upper bound of the paper's entry-size range.
+    pub const MAX_BYTES: usize = 32 * 3 * 4 + 32 * 4 + 4;
+}
+
+impl ReplayQ {
+    /// Hardware storage of the whole queue in bytes (paper §4.3.1: "the
+    /// ReplayQ size with 10 entries is around 5KB... only 4% of the
+    /// register file size").
+    pub fn storage_bytes(&self) -> usize {
+        self.capacity * ReplayEntry::MAX_BYTES
+    }
+
+    /// Create a queue holding at most `capacity` entries (0 = always
+    /// full, the paper's worst case).
+    pub fn new(capacity: usize) -> Self {
+        ReplayQ {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a push would be rejected.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Buffer an unverified instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (callers must check — Algorithm 1
+    /// stalls instead of overflowing).
+    pub fn push(&mut self, e: ReplayEntry) {
+        assert!(!self.is_full(), "ReplayQ overflow");
+        self.entries.push_back(e);
+    }
+
+    /// Remove and return the oldest entry whose unit type differs from
+    /// `unit` (the co-execution candidate of Algorithm 1).
+    pub fn take_different_type(&mut self, unit: UnitType) -> Option<ReplayEntry> {
+        let idx = self.entries.iter().position(|e| e.unit != unit)?;
+        self.entries.remove(idx)
+    }
+
+    /// Remove and return the oldest entry of any type (idle-cycle drain).
+    pub fn take_any(&mut self) -> Option<ReplayEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Remove and return the oldest entry of `warp_uid` whose destination
+    /// is one of `srcs` (the RAW-on-unverified hazard).
+    pub fn take_raw_hazard(
+        &mut self,
+        warp_uid: u64,
+        srcs: &[Option<Reg>; 4],
+    ) -> Option<ReplayEntry> {
+        let idx = self.entries.iter().position(|e| {
+            e.warp_uid == warp_uid
+                && e.dst
+                    .is_some_and(|d| srcs.iter().flatten().any(|s| *s == d))
+        })?;
+        self.entries.remove(idx)
+    }
+
+    /// Iterate buffered entries (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &ReplayEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(warp: u64, unit: UnitType, dst: Option<u16>, cycle: u64) -> ReplayEntry {
+        ReplayEntry {
+            warp_uid: warp,
+            unit,
+            dst: dst.map(Reg),
+            cycle,
+            mask: u32::MAX,
+            results: [0; WARP_SIZE],
+        }
+    }
+
+    #[test]
+    fn entry_size_matches_paper_431() {
+        assert_eq!(ReplayEntry::MIN_BYTES, 514);
+        assert_eq!(ReplayEntry::MAX_BYTES, 516);
+        // 10 entries ≈ 5 KB, about 4% of a 128 KB register file.
+        let q = ReplayQ::new(10);
+        assert_eq!(q.storage_bytes(), 5160);
+        let rf_bytes = 128 * 1024;
+        let share = q.storage_bytes() as f64 / rf_bytes as f64;
+        assert!((0.035..0.045).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn zero_capacity_is_always_full() {
+        let q = ReplayQ::new(0);
+        assert!(q.is_full());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_fills_to_capacity() {
+        let mut q = ReplayQ::new(2);
+        q.push(entry(0, UnitType::Sp, None, 0));
+        assert!(!q.is_full());
+        q.push(entry(1, UnitType::Sp, None, 1));
+        assert!(q.is_full());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ReplayQ overflow")]
+    fn overflow_panics() {
+        let mut q = ReplayQ::new(1);
+        q.push(entry(0, UnitType::Sp, None, 0));
+        q.push(entry(1, UnitType::Sp, None, 1));
+    }
+
+    #[test]
+    fn take_different_type_picks_oldest_match() {
+        let mut q = ReplayQ::new(4);
+        q.push(entry(0, UnitType::Sp, None, 0));
+        q.push(entry(1, UnitType::LdSt, None, 1));
+        q.push(entry(2, UnitType::Sfu, None, 2));
+        let got = q.take_different_type(UnitType::Sp).unwrap();
+        assert_eq!(got.warp_uid, 1, "oldest non-SP entry is the LD/ST one");
+        assert!(q.take_different_type(UnitType::Sfu).unwrap().warp_uid == 0);
+        // Remaining: the SFU entry; same type -> none.
+        assert!(q.take_different_type(UnitType::Sfu).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn raw_hazard_matches_warp_and_register() {
+        let mut q = ReplayQ::new(4);
+        q.push(entry(7, UnitType::Sp, Some(3), 0));
+        q.push(entry(8, UnitType::Sp, Some(3), 1));
+        let srcs = [Some(Reg(3)), None, None, None];
+        // Different warp, same register: no hazard.
+        assert!(q.take_raw_hazard(9, &srcs).is_none());
+        // Same warp: hazard on warp 7's entry only.
+        let got = q.take_raw_hazard(7, &srcs).unwrap();
+        assert_eq!(got.warp_uid, 7);
+        assert_eq!(q.len(), 1);
+        // No-dst entries never conflict.
+        let mut q2 = ReplayQ::new(1);
+        q2.push(entry(7, UnitType::LdSt, None, 0));
+        assert!(q2.take_raw_hazard(7, &srcs).is_none());
+    }
+
+    #[test]
+    fn take_any_is_fifo() {
+        let mut q = ReplayQ::new(3);
+        q.push(entry(0, UnitType::Sp, None, 0));
+        q.push(entry(1, UnitType::Sp, None, 1));
+        assert_eq!(q.take_any().unwrap().warp_uid, 0);
+        assert_eq!(q.take_any().unwrap().warp_uid, 1);
+        assert!(q.take_any().is_none());
+    }
+}

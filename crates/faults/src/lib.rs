@@ -1,0 +1,23 @@
+//! # warped-faults
+//!
+//! Fault models and Monte-Carlo injection campaigns validating
+//! Warped-DMR's analytic coverage (paper §3.3 / Fig. 9a) with *observed*
+//! detection rates:
+//!
+//! * [`model::FaultModel`] — single-event transient bit flips and
+//!   permanent stuck-at faults on individual physical SIMT lanes,
+//!   implementing [`warped_core::FaultOracle`].
+//! * [`injector::ExecutionSampler`] — reservoir-samples real issue events
+//!   from a profiling run so transients are injected where computation
+//!   actually happened.
+//! * [`campaign`] — drives repeated protected runs and classifies each
+//!   trial as detected or silent, for Warped-DMR and the DMTR baseline
+//!   (demonstrating the hidden-error problem of core affinity, §3.2).
+
+pub mod campaign;
+pub mod injector;
+pub mod model;
+
+pub use campaign::{stuck_at_campaign, transient_campaign, CampaignResult};
+pub use injector::ExecutionSampler;
+pub use model::FaultModel;

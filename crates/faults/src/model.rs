@@ -1,0 +1,146 @@
+//! Fault models for GPGPU execution units.
+//!
+//! The paper targets errors in *execution units only* (memories are ECC
+//! protected), distinguishing transient soft errors from permanent
+//! (stuck-at) defects — the latter are the motivation for lane shuffling.
+
+use warped_core::{FaultOracle, LaneSite};
+
+/// A hardware fault afflicting one physical SIMT lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultModel {
+    /// A single-event upset: one output bit flips for computations
+    /// executing on `site` at exactly `cycle`.
+    TransientFlip {
+        /// The afflicted lane.
+        site: LaneSite,
+        /// The cycle during which the particle strike corrupts outputs.
+        cycle: u64,
+        /// Which output bit flips.
+        bit: u8,
+    },
+    /// A permanent defect: one output bit of `site` is stuck at `value`
+    /// forever.
+    StuckAt {
+        /// The afflicted lane.
+        site: LaneSite,
+        /// Which output bit is stuck.
+        bit: u8,
+        /// The stuck value.
+        value: bool,
+    },
+}
+
+impl FaultModel {
+    /// The afflicted site.
+    pub fn site(&self) -> LaneSite {
+        match self {
+            FaultModel::TransientFlip { site, .. } | FaultModel::StuckAt { site, .. } => *site,
+        }
+    }
+
+    /// Whether this is a permanent fault.
+    pub fn is_permanent(&self) -> bool {
+        matches!(self, FaultModel::StuckAt { .. })
+    }
+}
+
+impl FaultOracle for FaultModel {
+    fn transform(&self, site: LaneSite, cycle: u64, value: u32) -> u32 {
+        match *self {
+            FaultModel::TransientFlip {
+                site: s,
+                cycle: c,
+                bit,
+            } => {
+                if s == site && c == cycle {
+                    value ^ (1 << bit)
+                } else {
+                    value
+                }
+            }
+            FaultModel::StuckAt {
+                site: s,
+                bit,
+                value: v,
+            } => {
+                if s == site {
+                    if v {
+                        value | (1 << bit)
+                    } else {
+                        value & !(1 << bit)
+                    }
+                } else {
+                    value
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SITE: LaneSite = LaneSite { sm: 1, lane: 7 };
+
+    #[test]
+    fn transient_hits_only_its_cycle_and_site() {
+        let f = FaultModel::TransientFlip {
+            site: SITE,
+            cycle: 100,
+            bit: 3,
+        };
+        assert_eq!(f.transform(SITE, 100, 0), 8);
+        assert_eq!(f.transform(SITE, 101, 0), 0);
+        assert_eq!(f.transform(LaneSite { sm: 1, lane: 8 }, 100, 0), 0);
+        assert!(!f.is_permanent());
+        assert_eq!(f.site(), SITE);
+    }
+
+    #[test]
+    fn transient_is_an_involution() {
+        let f = FaultModel::TransientFlip {
+            site: SITE,
+            cycle: 5,
+            bit: 31,
+        };
+        let v = 0xdead_beef;
+        assert_eq!(f.transform(SITE, 5, f.transform(SITE, 5, v)), v);
+    }
+
+    #[test]
+    fn stuck_at_one_forces_the_bit() {
+        let f = FaultModel::StuckAt {
+            site: SITE,
+            bit: 0,
+            value: true,
+        };
+        assert_eq!(f.transform(SITE, 0, 0), 1);
+        assert_eq!(f.transform(SITE, 999, 1), 1);
+        assert_eq!(f.transform(LaneSite { sm: 0, lane: 7 }, 0, 0), 0);
+        assert!(f.is_permanent());
+    }
+
+    #[test]
+    fn stuck_at_zero_clears_the_bit() {
+        let f = FaultModel::StuckAt {
+            site: SITE,
+            bit: 4,
+            value: false,
+        };
+        assert_eq!(f.transform(SITE, 0, 0xff), 0xef);
+        assert_eq!(f.transform(SITE, 0, 0xef), 0xef);
+    }
+
+    #[test]
+    fn stuck_at_is_idempotent() {
+        let f = FaultModel::StuckAt {
+            site: SITE,
+            bit: 9,
+            value: true,
+        };
+        let once = f.transform(SITE, 1, 12345);
+        assert_eq!(f.transform(SITE, 2, once), once);
+    }
+}

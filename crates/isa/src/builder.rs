@@ -1,0 +1,742 @@
+//! Structured kernel construction.
+//!
+//! [`KernelBuilder`] provides two layers:
+//!
+//! * **Structured control flow** — [`KernelBuilder::if_then`],
+//!   [`KernelBuilder::if_then_else`], [`KernelBuilder::while_loop`] and
+//!   [`KernelBuilder::for_range`] take closures for the nested bodies and
+//!   automatically record the immediate post-dominator of every divergent
+//!   branch, which the simulator's SIMT stack uses as the reconvergence
+//!   point.
+//! * **Labels** — [`KernelBuilder::label`] / [`KernelBuilder::place`] for
+//!   irregular control flow; unresolved labels are reported at
+//!   [`KernelBuilder::build`] time.
+
+use crate::instruction::{Instruction, Operand, Pc, Space};
+use crate::kernel::{Kernel, KernelError};
+use crate::op::{AluBinOp, AluUnOp, CmpOp, CmpType, SfuOp};
+use crate::reg::{Reg, SpecialReg};
+
+/// A forward-referenceable code label. Created by
+/// [`KernelBuilder::label`], pinned by [`KernelBuilder::place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone, Copy)]
+enum Fixup {
+    BranchTarget(usize),
+    BranchReconv(usize),
+    JumpTarget(usize),
+}
+
+/// Incremental builder for [`Kernel`] values.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    code: Vec<Instruction>,
+    next_reg: u16,
+    shared_words: usize,
+    labels: Vec<Option<Pc>>,
+    fixups: Vec<(Label, Fixup)>,
+}
+
+impl KernelBuilder {
+    /// Start building a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            code: Vec::new(),
+            next_reg: 0,
+            shared_words: 0,
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Allocate a fresh per-thread register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocate `n` fresh registers.
+    pub fn regs<const N: usize>(&mut self) -> [Reg; N] {
+        std::array::from_fn(|_| self.reg())
+    }
+
+    /// Reserve `words` words of per-block shared memory, returning the base
+    /// word address of the reservation.
+    pub fn alloc_shared(&mut self, words: usize) -> u32 {
+        let base = self.shared_words as u32;
+        self.shared_words += words;
+        base
+    }
+
+    /// Kernel launch parameter `i` as an operand.
+    pub fn param(&self, i: u8) -> Operand {
+        Operand::Param(i)
+    }
+
+    /// Current instruction count (the pc of the next emitted instruction).
+    pub fn here(&self) -> Pc {
+        Pc(self.code.len() as u32)
+    }
+
+    /// Finish the kernel. Appends a trailing [`Instruction::Exit`] if the
+    /// code does not already end with one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnbalancedControlFlow`] when a label was used
+    /// but never placed, or any other [`KernelError`] from validation.
+    pub fn build(mut self) -> Result<Kernel, KernelError> {
+        if !matches!(self.code.last(), Some(Instruction::Exit)) {
+            self.code.push(Instruction::Exit);
+        }
+        for (label, fixup) in std::mem::take(&mut self.fixups) {
+            let Some(pc) = self.labels[label.0] else {
+                return Err(KernelError::UnbalancedControlFlow {
+                    what: "label used but never placed",
+                });
+            };
+            match fixup {
+                Fixup::BranchTarget(i) => {
+                    if let Instruction::Branch { target, .. } = &mut self.code[i] {
+                        *target = pc;
+                    }
+                }
+                Fixup::BranchReconv(i) => {
+                    if let Instruction::Branch { reconv, .. } = &mut self.code[i] {
+                        *reconv = pc;
+                    }
+                }
+                Fixup::JumpTarget(i) => {
+                    if let Instruction::Jump { target } = &mut self.code[i] {
+                        *target = pc;
+                    }
+                }
+            }
+        }
+        Kernel::new(
+            self.name,
+            self.code,
+            self.next_reg.max(1),
+            self.shared_words,
+        )
+    }
+
+    // ---- labels -----------------------------------------------------------
+
+    /// Create a new, unplaced label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Pin `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label placed twice");
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Emit a conditional branch: lanes where `pred == 0` jump to `target`,
+    /// reconverging at `reconv`.
+    pub fn branch_if_false(&mut self, pred: Reg, target: Label, reconv: Label) {
+        let at = self.code.len();
+        self.code.push(Instruction::Branch {
+            pred,
+            negate: true,
+            target: Pc(0),
+            reconv: Pc(0),
+        });
+        self.fixups.push((target, Fixup::BranchTarget(at)));
+        self.fixups.push((reconv, Fixup::BranchReconv(at)));
+    }
+
+    /// Emit an unconditional jump to `target`.
+    pub fn jump(&mut self, target: Label) {
+        let at = self.code.len();
+        self.code.push(Instruction::Jump { target: Pc(0) });
+        self.fixups.push((target, Fixup::JumpTarget(at)));
+    }
+
+    // ---- structured control flow -----------------------------------------
+
+    /// `if pred != 0 { then(..) }` with automatic reconvergence.
+    pub fn if_then(&mut self, pred: Reg, then: impl FnOnce(&mut Self)) {
+        let end = self.label();
+        self.branch_if_false(pred, end, end);
+        then(self);
+        self.place(end);
+    }
+
+    /// `if pred != 0 { then(..) } else { otherwise(..) }` with automatic
+    /// reconvergence.
+    pub fn if_then_else(
+        &mut self,
+        pred: Reg,
+        then: impl FnOnce(&mut Self),
+        otherwise: impl FnOnce(&mut Self),
+    ) {
+        let else_l = self.label();
+        let end = self.label();
+        self.branch_if_false(pred, else_l, end);
+        then(self);
+        self.jump(end);
+        self.place(else_l);
+        otherwise(self);
+        self.place(end);
+    }
+
+    /// `while cond(..) != 0 { body(..) }`. The `cond` closure emits the code
+    /// recomputing the predicate each iteration and returns the predicate
+    /// register.
+    pub fn while_loop(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> Reg,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let head = self.label();
+        let end = self.label();
+        self.place(head);
+        let pred = cond(self);
+        self.branch_if_false(pred, end, end);
+        body(self);
+        self.jump(head);
+        self.place(end);
+    }
+
+    /// Counted loop: `for i in (start..end).step_by(step) { body(.., i) }`.
+    ///
+    /// `counter` must be a dedicated register; it holds the induction
+    /// variable (unsigned comparison against `end`).
+    pub fn for_range(
+        &mut self,
+        counter: Reg,
+        start: impl Into<Operand>,
+        end: impl Into<Operand>,
+        step: u32,
+        body: impl FnOnce(&mut Self, Reg),
+    ) {
+        let end_op = end.into();
+        self.mov(counter, start);
+        let pred = self.reg();
+        self.while_loop(
+            |b| {
+                b.setp(CmpOp::Lt, CmpType::U32, pred, counter, end_op);
+                pred
+            },
+            |b| {
+                body(b, counter);
+                b.iadd(counter, counter, step);
+            },
+        );
+    }
+
+    // ---- raw emission ------------------------------------------------------
+
+    /// Emit an arbitrary instruction (escape hatch; targets are not fixed up).
+    pub fn push(&mut self, instr: Instruction) {
+        self.code.push(instr);
+    }
+
+    fn bin(&mut self, op: AluBinOp, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.code.push(Instruction::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+
+    fn un(&mut self, op: AluUnOp, dst: Reg, a: impl Into<Operand>) {
+        self.code.push(Instruction::Un {
+            op,
+            dst,
+            a: a.into(),
+        });
+    }
+
+    // ---- ALU helpers -------------------------------------------------------
+
+    /// `dst = a + b` (wrapping i32).
+    pub fn iadd(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::IAdd, dst, a, b);
+    }
+    /// `dst = a - b` (wrapping i32).
+    pub fn isub(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::ISub, dst, a, b);
+    }
+    /// `dst = a * b` (wrapping, low 32 bits).
+    pub fn imul(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::IMul, dst, a, b);
+    }
+    /// `dst = high 32 bits of a * b` (unsigned).
+    pub fn imulhi(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::IMulHi, dst, a, b);
+    }
+    /// `dst = min(a, b)` signed.
+    pub fn imin(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::IMin, dst, a, b);
+    }
+    /// `dst = max(a, b)` signed.
+    pub fn imax(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::IMax, dst, a, b);
+    }
+    /// `dst = min(a, b)` unsigned.
+    pub fn umin(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::UMin, dst, a, b);
+    }
+    /// `dst = max(a, b)` unsigned.
+    pub fn umax(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::UMax, dst, a, b);
+    }
+    /// `dst = a & b`.
+    pub fn and(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::And, dst, a, b);
+    }
+    /// `dst = a | b`.
+    pub fn or(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::Or, dst, a, b);
+    }
+    /// `dst = a ^ b`.
+    pub fn xor(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::Xor, dst, a, b);
+    }
+    /// `dst = a << (b & 31)`.
+    pub fn shl(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::Shl, dst, a, b);
+    }
+    /// `dst = a >> (b & 31)` logical.
+    pub fn shr(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::Shr, dst, a, b);
+    }
+    /// `dst = a >> (b & 31)` arithmetic.
+    pub fn sra(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::Sra, dst, a, b);
+    }
+    /// `dst = a % b` unsigned (0 when b == 0).
+    pub fn urem(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::URem, dst, a, b);
+    }
+    /// `dst = a / b` unsigned (0 when b == 0).
+    pub fn udiv(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::UDiv, dst, a, b);
+    }
+    /// `dst = a + b` float.
+    pub fn fadd(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::FAdd, dst, a, b);
+    }
+    /// `dst = a - b` float.
+    pub fn fsub(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::FSub, dst, a, b);
+    }
+    /// `dst = a * b` float.
+    pub fn fmul(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::FMul, dst, a, b);
+    }
+    /// `dst = min(a, b)` float.
+    pub fn fmin(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::FMin, dst, a, b);
+    }
+    /// `dst = max(a, b)` float.
+    pub fn fmax(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.bin(AluBinOp::FMax, dst, a, b);
+    }
+    /// `dst = a` (copy / load immediate / read special register).
+    pub fn mov(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(AluUnOp::Mov, dst, a);
+    }
+    /// `dst = !a` bitwise.
+    pub fn not(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(AluUnOp::Not, dst, a);
+    }
+    /// `dst = -a` integer.
+    pub fn ineg(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(AluUnOp::INeg, dst, a);
+    }
+    /// `dst = -a` float.
+    pub fn fneg(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(AluUnOp::FNeg, dst, a);
+    }
+    /// `dst = |a|` float.
+    pub fn fabs(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(AluUnOp::FAbs, dst, a);
+    }
+    /// `dst = (f32)(i32)a`.
+    pub fn cvt_i2f(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(AluUnOp::CvtI2F, dst, a);
+    }
+    /// `dst = (f32)(u32)a`.
+    pub fn cvt_u2f(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(AluUnOp::CvtU2F, dst, a);
+    }
+    /// `dst = (i32)(f32)a` truncating.
+    pub fn cvt_f2i(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(AluUnOp::CvtF2I, dst, a);
+    }
+    /// `dst = (u32)(f32)a` truncating.
+    pub fn cvt_f2u(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(AluUnOp::CvtF2U, dst, a);
+    }
+    /// `dst = leading_zeros(a)`.
+    pub fn clz(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(AluUnOp::Clz, dst, a);
+    }
+    /// `dst = popcount(a)`.
+    pub fn popc(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.un(AluUnOp::Popc, dst, a);
+    }
+    /// `dst = a * b + c` integer multiply-add.
+    pub fn imad(
+        &mut self,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) {
+        self.code.push(Instruction::IMad {
+            dst,
+            a: a.into(),
+            b: b.into(),
+            c: c.into(),
+        });
+    }
+    /// `dst = a * b + c` fused float multiply-add.
+    pub fn ffma(
+        &mut self,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) {
+        self.code.push(Instruction::FFma {
+            dst,
+            a: a.into(),
+            b: b.into(),
+            c: c.into(),
+        });
+    }
+    /// `dst = (a cmp b) ? 1 : 0`.
+    pub fn setp(
+        &mut self,
+        cmp: CmpOp,
+        ty: CmpType,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.code.push(Instruction::Setp {
+            cmp,
+            ty,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+    /// `dst = cond != 0 ? if_true : if_false`.
+    pub fn sel(
+        &mut self,
+        dst: Reg,
+        cond: impl Into<Operand>,
+        if_true: impl Into<Operand>,
+        if_false: impl Into<Operand>,
+    ) {
+        self.code.push(Instruction::Sel {
+            dst,
+            cond: cond.into(),
+            if_true: if_true.into(),
+            if_false: if_false.into(),
+        });
+    }
+
+    // ---- SFU helpers -------------------------------------------------------
+
+    fn sfu(&mut self, op: SfuOp, dst: Reg, a: impl Into<Operand>) {
+        self.code.push(Instruction::Sfu {
+            op,
+            dst,
+            a: a.into(),
+        });
+    }
+
+    /// `dst = sin(a)` on the SFU.
+    pub fn sin(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.sfu(SfuOp::Sin, dst, a);
+    }
+    /// `dst = cos(a)` on the SFU.
+    pub fn cos(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.sfu(SfuOp::Cos, dst, a);
+    }
+    /// `dst = sqrt(a)` on the SFU.
+    pub fn sqrt(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.sfu(SfuOp::Sqrt, dst, a);
+    }
+    /// `dst = 1/sqrt(a)` on the SFU.
+    pub fn rsqrt(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.sfu(SfuOp::Rsqrt, dst, a);
+    }
+    /// `dst = 1/a` on the SFU.
+    pub fn rcp(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.sfu(SfuOp::Rcp, dst, a);
+    }
+    /// `dst = 2^a` on the SFU.
+    pub fn ex2(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.sfu(SfuOp::Ex2, dst, a);
+    }
+    /// `dst = log2(a)` on the SFU.
+    pub fn lg2(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.sfu(SfuOp::Lg2, dst, a);
+    }
+    /// `dst = a / b` float, expanded to `rcp` (SFU) + `mul` (SP), as GPUs do
+    /// for approximate division. Allocates a scratch register.
+    pub fn fdiv(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
+        let t = self.reg();
+        self.rcp(t, b);
+        self.fmul(dst, a, t);
+    }
+
+    // ---- memory helpers ----------------------------------------------------
+
+    /// `dst = global[addr + offset]`.
+    pub fn ld_global(&mut self, dst: Reg, addr: impl Into<Operand>, offset: i32) {
+        self.code.push(Instruction::Ld {
+            space: Space::Global,
+            dst,
+            addr: addr.into(),
+            offset,
+        });
+    }
+    /// `dst = shared[addr + offset]`.
+    pub fn ld_shared(&mut self, dst: Reg, addr: impl Into<Operand>, offset: i32) {
+        self.code.push(Instruction::Ld {
+            space: Space::Shared,
+            dst,
+            addr: addr.into(),
+            offset,
+        });
+    }
+    /// `global[addr + offset] = src`.
+    pub fn st_global(&mut self, addr: impl Into<Operand>, offset: i32, src: impl Into<Operand>) {
+        self.code.push(Instruction::St {
+            space: Space::Global,
+            addr: addr.into(),
+            offset,
+            src: src.into(),
+        });
+    }
+    /// `shared[addr + offset] = src`.
+    pub fn st_shared(&mut self, addr: impl Into<Operand>, offset: i32, src: impl Into<Operand>) {
+        self.code.push(Instruction::St {
+            space: Space::Shared,
+            addr: addr.into(),
+            offset,
+            src: src.into(),
+        });
+    }
+
+    // ---- misc ---------------------------------------------------------------
+
+    /// Block-wide barrier.
+    pub fn bar(&mut self) {
+        self.code.push(Instruction::Bar);
+    }
+
+    /// Terminate the executing lanes.
+    pub fn exit(&mut self) {
+        self.code.push(Instruction::Exit);
+    }
+
+    /// Read a special register into `dst` (alias of [`KernelBuilder::mov`]).
+    pub fn read_special(&mut self, dst: Reg, s: SpecialReg) {
+        self.mov(dst, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_appends_exit() {
+        let mut b = KernelBuilder::new("k");
+        let r = b.reg();
+        b.mov(r, 1u32);
+        let k = b.build().unwrap();
+        assert!(matches!(k.code().last(), Some(Instruction::Exit)));
+        assert_eq!(k.len(), 2);
+    }
+
+    #[test]
+    fn if_then_targets_reconverge_at_end() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.reg();
+        let x = b.reg();
+        b.mov(p, 1u32);
+        b.if_then(p, |b| b.iadd(x, x, 1u32));
+        b.exit();
+        let k = b.build().unwrap();
+        // layout: 0 mov, 1 branch, 2 iadd, 3 exit
+        match k.code()[1] {
+            Instruction::Branch {
+                target,
+                reconv,
+                negate,
+                ..
+            } => {
+                assert_eq!(target, Pc(3));
+                assert_eq!(reconv, Pc(3));
+                assert!(negate);
+            }
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_then_else_layout() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.reg();
+        let x = b.reg();
+        b.mov(p, 0u32);
+        b.if_then_else(p, |b| b.mov(x, 1u32), |b| b.mov(x, 2u32));
+        b.exit();
+        let k = b.build().unwrap();
+        // 0 mov p, 1 branch -> else@3 reconv@4, 2 mov x 1 (then), 3... wait:
+        // layout: 0 mov, 1 branch(else_l, end), 2 then-mov, 3 jump end, 4 else-mov, 5 exit
+        match k.code()[1] {
+            Instruction::Branch { target, reconv, .. } => {
+                assert_eq!(target, Pc(4));
+                assert_eq!(reconv, Pc(5));
+            }
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+        match k.code()[3] {
+            Instruction::Jump { target } => assert_eq!(target, Pc(5)),
+            ref other => panic!("expected jump, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_loop_back_edge() {
+        let mut b = KernelBuilder::new("k");
+        let i = b.reg();
+        let p = b.reg();
+        b.mov(i, 0u32);
+        b.while_loop(
+            |b| {
+                b.setp(CmpOp::Lt, CmpType::U32, p, i, 4u32);
+                p
+            },
+            |b| b.iadd(i, i, 1u32),
+        );
+        let k = b.build().unwrap();
+        // 0 mov, 1 setp, 2 branch(end,end), 3 iadd, 4 jump->1, 5 exit
+        match k.code()[2] {
+            Instruction::Branch { target, reconv, .. } => {
+                assert_eq!(target, Pc(5));
+                assert_eq!(reconv, Pc(5));
+            }
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+        match k.code()[4] {
+            Instruction::Jump { target } => assert_eq!(target, Pc(1)),
+            ref other => panic!("expected jump, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_range_emits_bounded_loop() {
+        let mut b = KernelBuilder::new("k");
+        let i = b.reg();
+        let acc = b.reg();
+        b.mov(acc, 0u32);
+        b.for_range(i, 0u32, 10u32, 2, |b, i| b.iadd(acc, acc, i));
+        let k = b.build().unwrap();
+        assert!(k.count_matching(|ins| matches!(ins, Instruction::Branch { .. })) == 1);
+        assert!(k.count_matching(|ins| matches!(ins, Instruction::Jump { .. })) == 1);
+    }
+
+    #[test]
+    fn unplaced_label_is_an_error() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.reg();
+        b.mov(p, 1u32);
+        let l = b.label();
+        b.jump(l);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, KernelError::UnbalancedControlFlow { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "label placed twice")]
+    fn double_placed_label_panics() {
+        let mut b = KernelBuilder::new("k");
+        let l = b.label();
+        b.place(l);
+        b.place(l);
+    }
+
+    #[test]
+    fn fdiv_expands_to_rcp_mul() {
+        let mut b = KernelBuilder::new("k");
+        let [d, x, y] = b.regs();
+        b.fdiv(d, x, y);
+        let k = b.build().unwrap();
+        assert!(matches!(
+            k.code()[0],
+            Instruction::Sfu { op: SfuOp::Rcp, .. }
+        ));
+        assert!(matches!(
+            k.code()[1],
+            Instruction::Bin {
+                op: AluBinOp::FMul,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn regs_allocates_distinct() {
+        let mut b = KernelBuilder::new("k");
+        let [a, c, d] = b.regs();
+        assert_ne!(a, c);
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn shared_alloc_accumulates() {
+        let mut b = KernelBuilder::new("k");
+        assert_eq!(b.alloc_shared(16), 0);
+        assert_eq!(b.alloc_shared(8), 16);
+        let r = b.reg();
+        b.mov(r, 0u32);
+        let k = b.build().unwrap();
+        assert_eq!(k.shared_words(), 24);
+    }
+
+    #[test]
+    fn nested_structured_flow_validates() {
+        let mut b = KernelBuilder::new("k");
+        let [p, q, x, i] = b.regs();
+        b.mov(p, 1u32);
+        b.mov(q, 0u32);
+        b.if_then_else(
+            p,
+            |b| {
+                b.if_then(q, |b| b.iadd(x, x, 1u32));
+            },
+            |b| {
+                b.for_range(i, 0u32, 3u32, 1, |b, _| b.iadd(x, x, 2u32));
+            },
+        );
+        let k = b.build().unwrap();
+        k.validate().unwrap();
+    }
+}

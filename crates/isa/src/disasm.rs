@@ -1,0 +1,111 @@
+//! Textual disassembly of kernels, PTX-flavoured.
+
+use crate::instruction::Instruction;
+use crate::kernel::Kernel;
+use std::fmt;
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Bin { op, dst, a, b } => write!(f, "{op} {dst}, {a}, {b}"),
+            Instruction::Un { op, dst, a } => write!(f, "{op} {dst}, {a}"),
+            Instruction::IMad { dst, a, b, c } => {
+                write!(f, "mad.lo.s32 {dst}, {a}, {b}, {c}")
+            }
+            Instruction::FFma { dst, a, b, c } => write!(f, "fma.rn.f32 {dst}, {a}, {b}, {c}"),
+            Instruction::Setp { cmp, ty, dst, a, b } => {
+                write!(f, "setp.{cmp}.{ty} {dst}, {a}, {b}")
+            }
+            Instruction::Sel {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => write!(f, "selp.b32 {dst}, {if_true}, {if_false}, {cond}"),
+            Instruction::Sfu { op, dst, a } => write!(f, "{op} {dst}, {a}"),
+            Instruction::Ld {
+                space,
+                dst,
+                addr,
+                offset,
+            } => write!(f, "ld.{space}.b32 {dst}, [{addr}{offset:+}]"),
+            Instruction::St {
+                space,
+                addr,
+                offset,
+                src,
+            } => write!(f, "st.{space}.b32 [{addr}{offset:+}], {src}"),
+            Instruction::Branch {
+                pred,
+                negate,
+                target,
+                reconv,
+            } => {
+                let bang = if *negate { "!" } else { "" };
+                write!(f, "@{bang}{pred} bra {target} (reconv {reconv})")
+            }
+            Instruction::Jump { target } => write!(f, "bra.uni {target}"),
+            Instruction::Bar => write!(f, "bar.sync 0"),
+            Instruction::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+/// Render a kernel as a numbered instruction listing.
+pub fn disassemble(kernel: &Kernel) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// kernel {} ({} instrs, {} regs, {} shared words)",
+        kernel.name(),
+        kernel.len(),
+        kernel.num_regs(),
+        kernel.shared_words()
+    );
+    for (i, instr) in kernel.code().iter().enumerate() {
+        let _ = writeln!(out, "{i:5}: {instr}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::op::{CmpOp, CmpType};
+
+    #[test]
+    fn disassembly_mentions_every_instruction() {
+        let mut b = KernelBuilder::new("demo");
+        let [p, x, i] = b.regs();
+        b.mov(p, 1u32);
+        b.setp(CmpOp::Lt, CmpType::U32, p, x, 10u32);
+        b.if_then(p, |b| b.sin(x, x));
+        b.for_range(i, 0u32, 4u32, 1, |b, _| {
+            b.ld_shared(x, i, 2);
+            b.st_global(i, 0, x);
+        });
+        b.bar();
+        let k = b.build().unwrap();
+        let text = disassemble(&k);
+        assert!(text.contains("kernel demo"));
+        assert!(text.contains("setp.lt.u32"));
+        assert!(text.contains("sin.approx.f32"));
+        assert!(text.contains("ld.shared.b32"));
+        assert!(text.contains("st.global.b32"));
+        assert!(text.contains("bar.sync"));
+        assert!(text.contains("exit"));
+        let lines = text.lines().count();
+        assert_eq!(lines, k.len() + 1);
+    }
+
+    #[test]
+    fn offsets_are_signed_in_listing() {
+        let mut b = KernelBuilder::new("k");
+        let r = b.reg();
+        b.ld_global(r, r, -4);
+        let k = b.build().unwrap();
+        assert!(disassemble(&k).contains("[%r0-4]"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Kernel container and static validation.
+
+use crate::instruction::{Instruction, Pc};
+use std::error::Error;
+use std::fmt;
+
+/// A validated GPU kernel: a flat instruction vector plus resource
+/// requirements.
+///
+/// Construct kernels with [`KernelBuilder`](crate::KernelBuilder); `Kernel`
+/// itself guarantees that all branch targets and register indices are in
+/// range (checked by [`Kernel::validate`] at build time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    name: String,
+    code: Vec<Instruction>,
+    num_regs: u16,
+    shared_words: usize,
+}
+
+impl Kernel {
+    /// Assemble a kernel from raw parts, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`KernelError`] if the code is empty, a branch target or
+    /// reconvergence point is out of range, or an instruction names a
+    /// register `>= num_regs`.
+    pub fn new(
+        name: impl Into<String>,
+        code: Vec<Instruction>,
+        num_regs: u16,
+        shared_words: usize,
+    ) -> Result<Self, KernelError> {
+        let k = Kernel {
+            name: name.into(),
+            code,
+            num_regs,
+            shared_words,
+        };
+        k.validate()?;
+        Ok(k)
+    }
+
+    /// Kernel name (for reports and disassembly headers).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    pub fn fetch(&self, pc: Pc) -> Option<&Instruction> {
+        self.code.get(pc.index())
+    }
+
+    /// Full instruction listing.
+    pub fn code(&self) -> &[Instruction] {
+        &self.code
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the kernel has no instructions (never true for a validated
+    /// kernel).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Per-thread register frame size.
+    pub fn num_regs(&self) -> u16 {
+        self.num_regs
+    }
+
+    /// Shared-memory words required per block.
+    pub fn shared_words(&self) -> usize {
+        self.shared_words
+    }
+
+    /// Re-run static validation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Kernel::new`].
+    pub fn validate(&self) -> Result<(), KernelError> {
+        if self.code.is_empty() {
+            return Err(KernelError::Empty);
+        }
+        let len = self.code.len() as u32;
+        let check_pc = |pc: Pc, at: usize| -> Result<(), KernelError> {
+            if pc.0 >= len {
+                Err(KernelError::TargetOutOfRange { at, target: pc })
+            } else {
+                Ok(())
+            }
+        };
+        for (i, instr) in self.code.iter().enumerate() {
+            if let Some(dst) = instr.dst() {
+                if dst.0 >= self.num_regs {
+                    return Err(KernelError::RegOutOfRange { at: i, reg: dst.0 });
+                }
+            }
+            for src in instr.src_regs().into_iter().flatten() {
+                if src.0 >= self.num_regs {
+                    return Err(KernelError::RegOutOfRange { at: i, reg: src.0 });
+                }
+            }
+            match *instr {
+                Instruction::Branch { target, reconv, .. } => {
+                    check_pc(target, i)?;
+                    check_pc(reconv, i)?;
+                }
+                Instruction::Jump { target } => check_pc(target, i)?,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Count instructions by predicate (useful in tests and reports).
+    pub fn count_matching(&self, f: impl Fn(&Instruction) -> bool) -> usize {
+        self.code.iter().filter(|i| f(i)).count()
+    }
+}
+
+/// Validation errors for [`Kernel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// The kernel has no instructions.
+    Empty,
+    /// A branch/jump target or reconvergence point is past the end of code.
+    TargetOutOfRange {
+        /// Instruction index containing the bad target.
+        at: usize,
+        /// The out-of-range target.
+        target: Pc,
+    },
+    /// An instruction references a register outside the declared frame.
+    RegOutOfRange {
+        /// Instruction index containing the bad register.
+        at: usize,
+        /// The out-of-range register index.
+        reg: u16,
+    },
+    /// A structured-control-flow builder was finished in a bad state.
+    UnbalancedControlFlow {
+        /// Explanation of the imbalance.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Empty => write!(f, "kernel has no instructions"),
+            KernelError::TargetOutOfRange { at, target } => {
+                write!(f, "instruction {at} targets out-of-range pc {target}")
+            }
+            KernelError::RegOutOfRange { at, reg } => {
+                write!(
+                    f,
+                    "instruction {at} references register %r{reg} outside the frame"
+                )
+            }
+            KernelError::UnbalancedControlFlow { what } => {
+                write!(f, "unbalanced structured control flow: {what}")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::AluBinOp;
+    use crate::reg::Reg;
+    use crate::Operand;
+
+    fn add(dst: u16, a: u16, b: u16) -> Instruction {
+        Instruction::Bin {
+            op: AluBinOp::IAdd,
+            dst: Reg(dst),
+            a: Operand::Reg(Reg(a)),
+            b: Operand::Reg(Reg(b)),
+        }
+    }
+
+    #[test]
+    fn empty_kernel_rejected() {
+        assert_eq!(Kernel::new("k", vec![], 4, 0), Err(KernelError::Empty));
+    }
+
+    #[test]
+    fn valid_kernel_accepted() {
+        let k = Kernel::new("k", vec![add(0, 1, 2), Instruction::Exit], 4, 0).unwrap();
+        assert_eq!(k.len(), 2);
+        assert!(!k.is_empty());
+        assert_eq!(k.num_regs(), 4);
+        assert_eq!(k.shared_words(), 0);
+        assert!(k.fetch(Pc(0)).is_some());
+        assert!(k.fetch(Pc(2)).is_none());
+    }
+
+    #[test]
+    fn register_out_of_range_rejected() {
+        let err = Kernel::new("k", vec![add(9, 0, 1), Instruction::Exit], 4, 0).unwrap_err();
+        assert_eq!(err, KernelError::RegOutOfRange { at: 0, reg: 9 });
+    }
+
+    #[test]
+    fn branch_target_out_of_range_rejected() {
+        let br = Instruction::Branch {
+            pred: Reg(0),
+            negate: false,
+            target: Pc(99),
+            reconv: Pc(1),
+        };
+        let err = Kernel::new("k", vec![br, Instruction::Exit], 4, 0).unwrap_err();
+        assert!(matches!(err, KernelError::TargetOutOfRange { at: 0, .. }));
+    }
+
+    #[test]
+    fn reconv_out_of_range_rejected() {
+        let br = Instruction::Branch {
+            pred: Reg(0),
+            negate: false,
+            target: Pc(1),
+            reconv: Pc(50),
+        };
+        let err = Kernel::new("k", vec![br, Instruction::Exit], 4, 0).unwrap_err();
+        assert!(matches!(err, KernelError::TargetOutOfRange { at: 0, .. }));
+    }
+
+    #[test]
+    fn count_matching_counts() {
+        let k = Kernel::new(
+            "k",
+            vec![add(0, 1, 2), add(1, 0, 0), Instruction::Exit],
+            4,
+            0,
+        )
+        .unwrap();
+        assert_eq!(k.count_matching(|i| !i.is_control()), 2);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            KernelError::Empty,
+            KernelError::TargetOutOfRange {
+                at: 1,
+                target: Pc(7),
+            },
+            KernelError::RegOutOfRange { at: 0, reg: 3 },
+            KernelError::UnbalancedControlFlow { what: "open if" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Opcodes and execution-unit classification.
+//!
+//! Warped-DMR's inter-warp scheme decides, for every issued instruction,
+//! which of the three heterogeneous execution units it occupies
+//! ([`UnitType`]). The classification here mirrors the paper's Fermi-style
+//! model: arithmetic and control on shader processors (SPs), transcendental
+//! operations on special function units (SFUs), and memory operations on
+//! LD/ST units.
+
+use std::fmt;
+
+/// The three heterogeneous execution-unit types of a streaming
+/// multiprocessor (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnitType {
+    /// Shader processor: integer/float arithmetic, comparisons, control flow.
+    Sp,
+    /// Special function unit: sine, cosine, reciprocal, square root, exp, log.
+    Sfu,
+    /// Load/store unit: shared and global memory accesses.
+    LdSt,
+}
+
+impl UnitType {
+    /// All unit types, in a fixed order (useful for per-unit accounting).
+    pub const ALL: [UnitType; 3] = [UnitType::Sp, UnitType::Sfu, UnitType::LdSt];
+
+    /// Stable small index for array-based per-unit state.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            UnitType::Sp => 0,
+            UnitType::Sfu => 1,
+            UnitType::LdSt => 2,
+        }
+    }
+}
+
+impl fmt::Display for UnitType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnitType::Sp => "SP",
+            UnitType::Sfu => "SFU",
+            UnitType::LdSt => "LD/ST",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Two-operand ALU operations executed on shader processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluBinOp {
+    /// 32-bit wrapping integer add.
+    IAdd,
+    /// 32-bit wrapping integer subtract.
+    ISub,
+    /// 32-bit wrapping integer multiply (low half).
+    IMul,
+    /// High 32 bits of the 64-bit product of two unsigned operands.
+    IMulHi,
+    /// Signed minimum.
+    IMin,
+    /// Signed maximum.
+    IMax,
+    /// Unsigned minimum.
+    UMin,
+    /// Unsigned maximum.
+    UMax,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount masked to 5 bits).
+    Shl,
+    /// Logical shift right (shift amount masked to 5 bits).
+    Shr,
+    /// Arithmetic shift right (shift amount masked to 5 bits).
+    Sra,
+    /// Unsigned remainder (`a % b`; result 0 when `b == 0`).
+    URem,
+    /// Unsigned quotient (`a / b`; result 0 when `b == 0`).
+    UDiv,
+    /// IEEE-754 single float add.
+    FAdd,
+    /// IEEE-754 single float subtract.
+    FSub,
+    /// IEEE-754 single float multiply.
+    FMul,
+    /// Float minimum.
+    FMin,
+    /// Float maximum.
+    FMax,
+}
+
+/// One-operand ALU operations executed on shader processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluUnOp {
+    /// Copy the operand.
+    Mov,
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negate.
+    INeg,
+    /// Float negate.
+    FNeg,
+    /// Float absolute value.
+    FAbs,
+    /// Convert signed i32 to f32 (round to nearest).
+    CvtI2F,
+    /// Convert unsigned u32 to f32 (round to nearest).
+    CvtU2F,
+    /// Convert f32 to signed i32 (truncate; saturates, NaN -> 0).
+    CvtF2I,
+    /// Convert f32 to unsigned u32 (truncate; saturates, NaN -> 0).
+    CvtF2U,
+    /// Count leading zeros.
+    Clz,
+    /// Population count.
+    Popc,
+}
+
+/// Transcendental operations executed on special function units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SfuOp {
+    /// sin(x), x in radians.
+    Sin,
+    /// cos(x), x in radians.
+    Cos,
+    /// sqrt(x).
+    Sqrt,
+    /// 1/sqrt(x).
+    Rsqrt,
+    /// 1/x.
+    Rcp,
+    /// 2^x.
+    Ex2,
+    /// log2(x).
+    Lg2,
+}
+
+/// Comparison predicates for [`Instruction::Setp`](crate::Instruction::Setp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// Operand interpretation for comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpType {
+    /// Signed 32-bit integers.
+    I32,
+    /// Unsigned 32-bit integers.
+    U32,
+    /// IEEE-754 single floats (comparisons with NaN are false except `Ne`).
+    F32,
+}
+
+impl fmt::Display for AluBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluBinOp::IAdd => "add.s32",
+            AluBinOp::ISub => "sub.s32",
+            AluBinOp::IMul => "mul.lo.s32",
+            AluBinOp::IMulHi => "mul.hi.u32",
+            AluBinOp::IMin => "min.s32",
+            AluBinOp::IMax => "max.s32",
+            AluBinOp::UMin => "min.u32",
+            AluBinOp::UMax => "max.u32",
+            AluBinOp::And => "and.b32",
+            AluBinOp::Or => "or.b32",
+            AluBinOp::Xor => "xor.b32",
+            AluBinOp::Shl => "shl.b32",
+            AluBinOp::Shr => "shr.u32",
+            AluBinOp::Sra => "shr.s32",
+            AluBinOp::URem => "rem.u32",
+            AluBinOp::UDiv => "div.u32",
+            AluBinOp::FAdd => "add.f32",
+            AluBinOp::FSub => "sub.f32",
+            AluBinOp::FMul => "mul.f32",
+            AluBinOp::FMin => "min.f32",
+            AluBinOp::FMax => "max.f32",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for AluUnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluUnOp::Mov => "mov.b32",
+            AluUnOp::Not => "not.b32",
+            AluUnOp::INeg => "neg.s32",
+            AluUnOp::FNeg => "neg.f32",
+            AluUnOp::FAbs => "abs.f32",
+            AluUnOp::CvtI2F => "cvt.rn.f32.s32",
+            AluUnOp::CvtU2F => "cvt.rn.f32.u32",
+            AluUnOp::CvtF2I => "cvt.rzi.s32.f32",
+            AluUnOp::CvtF2U => "cvt.rzi.u32.f32",
+            AluUnOp::Clz => "clz.b32",
+            AluUnOp::Popc => "popc.b32",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for SfuOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SfuOp::Sin => "sin.approx.f32",
+            SfuOp::Cos => "cos.approx.f32",
+            SfuOp::Sqrt => "sqrt.approx.f32",
+            SfuOp::Rsqrt => "rsqrt.approx.f32",
+            SfuOp::Rcp => "rcp.approx.f32",
+            SfuOp::Ex2 => "ex2.approx.f32",
+            SfuOp::Lg2 => "lg2.approx.f32",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for CmpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpType::I32 => "s32",
+            CmpType::U32 => "u32",
+            CmpType::F32 => "f32",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_type_indices_are_dense_and_match_all() {
+        for (i, u) in UnitType::ALL.iter().enumerate() {
+            assert_eq!(u.index(), i);
+        }
+    }
+
+    #[test]
+    fn unit_type_display() {
+        assert_eq!(UnitType::Sp.to_string(), "SP");
+        assert_eq!(UnitType::Sfu.to_string(), "SFU");
+        assert_eq!(UnitType::LdSt.to_string(), "LD/ST");
+    }
+
+    #[test]
+    fn opcode_mnemonics_are_distinct() {
+        let bins = [
+            AluBinOp::IAdd,
+            AluBinOp::ISub,
+            AluBinOp::IMul,
+            AluBinOp::IMulHi,
+            AluBinOp::IMin,
+            AluBinOp::IMax,
+            AluBinOp::UMin,
+            AluBinOp::UMax,
+            AluBinOp::And,
+            AluBinOp::Or,
+            AluBinOp::Xor,
+            AluBinOp::Shl,
+            AluBinOp::Shr,
+            AluBinOp::Sra,
+            AluBinOp::URem,
+            AluBinOp::UDiv,
+            AluBinOp::FAdd,
+            AluBinOp::FSub,
+            AluBinOp::FMul,
+            AluBinOp::FMin,
+            AluBinOp::FMax,
+        ];
+        let mut names: Vec<String> = bins.iter().map(|o| o.to_string()).collect();
+        names.sort();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

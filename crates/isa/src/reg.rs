@@ -1,0 +1,119 @@
+//! Register identifiers and special (read-only) registers.
+
+use std::fmt;
+
+/// A general-purpose, per-thread 32-bit register.
+///
+/// Registers are allocated by [`KernelBuilder::reg`](crate::KernelBuilder::reg)
+/// and are local to one thread: each SIMT lane holds its own copy, stored in
+/// one of the banked register files of a streaming multiprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u16);
+
+impl Reg {
+    /// Index of this register within a thread's register frame.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%r{}", self.0)
+    }
+}
+
+/// Read-only special registers, analogous to PTX `%tid`, `%ntid`, `%ctaid`.
+///
+/// Reading one of these is free of register-file traffic; the values are
+/// wired per-thread by the hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialReg {
+    /// Thread index within the block, x dimension.
+    TidX,
+    /// Thread index within the block, y dimension.
+    TidY,
+    /// Block dimension, x.
+    NTidX,
+    /// Block dimension, y.
+    NTidY,
+    /// Block index within the grid, x dimension.
+    CtaIdX,
+    /// Block index within the grid, y dimension.
+    CtaIdY,
+    /// Grid dimension, x.
+    NCtaIdX,
+    /// Grid dimension, y.
+    NCtaIdY,
+    /// SIMT lane index of this thread within its warp (0..warp_size).
+    LaneId,
+    /// Warp index of this thread within its block.
+    WarpId,
+    /// Flat linear thread id within the block: `tid.y * ntid.x + tid.x`.
+    FlatTid,
+    /// Flat linear global thread id across the whole grid.
+    GlobalTid,
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecialReg::TidX => "%tid.x",
+            SpecialReg::TidY => "%tid.y",
+            SpecialReg::NTidX => "%ntid.x",
+            SpecialReg::NTidY => "%ntid.y",
+            SpecialReg::CtaIdX => "%ctaid.x",
+            SpecialReg::CtaIdY => "%ctaid.y",
+            SpecialReg::NCtaIdX => "%nctaid.x",
+            SpecialReg::NCtaIdY => "%nctaid.y",
+            SpecialReg::LaneId => "%laneid",
+            SpecialReg::WarpId => "%warpid",
+            SpecialReg::FlatTid => "%flattid",
+            SpecialReg::GlobalTid => "%gtid",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_index() {
+        let r = Reg(7);
+        assert_eq!(r.to_string(), "%r7");
+        assert_eq!(r.index(), 7);
+    }
+
+    #[test]
+    fn special_reg_display_is_nonempty_and_unique() {
+        let all = [
+            SpecialReg::TidX,
+            SpecialReg::TidY,
+            SpecialReg::NTidX,
+            SpecialReg::NTidY,
+            SpecialReg::CtaIdX,
+            SpecialReg::CtaIdY,
+            SpecialReg::NCtaIdX,
+            SpecialReg::NCtaIdY,
+            SpecialReg::LaneId,
+            SpecialReg::WarpId,
+            SpecialReg::FlatTid,
+            SpecialReg::GlobalTid,
+        ];
+        let mut names: Vec<String> = all.iter().map(|s| s.to_string()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "special register names must be unique");
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+
+    #[test]
+    fn reg_ordering_follows_index() {
+        assert!(Reg(1) < Reg(2));
+        assert_eq!(Reg(3), Reg(3));
+    }
+}

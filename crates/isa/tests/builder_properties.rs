@@ -1,0 +1,161 @@
+//! Property tests: any program assembled through the structured builder
+//! validates, and its control-flow metadata is internally consistent.
+
+use proptest::prelude::*;
+use warped_isa::{disasm, CmpOp, CmpType, Instruction, KernelBuilder, SpecialReg};
+
+/// A recipe for one structured statement.
+#[derive(Debug, Clone)]
+enum Stmt {
+    Arith,
+    Load,
+    Store,
+    Sfu,
+    IfThen(Vec<Stmt>),
+    IfThenElse(Vec<Stmt>, Vec<Stmt>),
+    ForLoop(u8, Vec<Stmt>),
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        Just(Stmt::Arith),
+        Just(Stmt::Load),
+        Just(Stmt::Store),
+        Just(Stmt::Sfu),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Stmt::IfThen),
+            (
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(a, b)| Stmt::IfThenElse(a, b)),
+            (1u8..4, prop::collection::vec(inner, 1..3))
+                .prop_map(|(n, body)| Stmt::ForLoop(n, body)),
+        ]
+    })
+}
+
+fn emit(b: &mut KernelBuilder, stmts: &[Stmt], x: warped_isa::Reg, p: warped_isa::Reg) {
+    for s in stmts {
+        match s {
+            Stmt::Arith => b.iadd(x, x, 1u32),
+            Stmt::Load => b.ld_shared(x, 0u32, 0),
+            Stmt::Store => b.st_shared(1u32, 0, x),
+            Stmt::Sfu => b.sin(x, x),
+            Stmt::IfThen(body) => {
+                b.setp(CmpOp::Lt, CmpType::U32, p, x, 100u32);
+                b.if_then(p, |b| emit(b, body, x, p));
+            }
+            Stmt::IfThenElse(t, e) => {
+                b.setp(CmpOp::Ge, CmpType::U32, p, x, 5u32);
+                b.if_then_else(p, |b| emit(b, t, x, p), |b| emit(b, e, x, p));
+            }
+            Stmt::ForLoop(n, body) => {
+                let i = b.reg();
+                b.for_range(i, 0u32, *n as u32, 1, |b, _| emit(b, body, x, p));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Structured programs always assemble into valid kernels whose
+    /// branch metadata stays in range.
+    #[test]
+    fn structured_programs_always_validate(stmts in prop::collection::vec(stmt_strategy(), 1..6)) {
+        let mut b = KernelBuilder::new("prop");
+        b.alloc_shared(4);
+        let x = b.reg();
+        let p = b.reg();
+        b.mov(x, SpecialReg::LaneId);
+        emit(&mut b, &stmts, x, p);
+        let k = b.build().unwrap();
+        k.validate().unwrap();
+        // Every branch/jump target and reconvergence point is in range
+        // and reconvergence never precedes the branch (structured flow).
+        for (i, instr) in k.code().iter().enumerate() {
+            if let Instruction::Branch { target, reconv, .. } = instr {
+                prop_assert!(target.index() < k.len());
+                prop_assert!(reconv.index() < k.len());
+                prop_assert!(reconv.index() > i, "reconvergence must be ahead");
+            }
+        }
+        // The kernel always ends with exit.
+        prop_assert!(matches!(k.code().last(), Some(Instruction::Exit)));
+    }
+
+    /// Disassembly emits exactly one line per instruction plus a header,
+    /// and every program counter annotation parses back.
+    #[test]
+    fn disassembly_is_line_accurate(stmts in prop::collection::vec(stmt_strategy(), 1..5)) {
+        let mut b = KernelBuilder::new("prop");
+        b.alloc_shared(4);
+        let x = b.reg();
+        let p = b.reg();
+        b.mov(x, 0u32);
+        emit(&mut b, &stmts, x, p);
+        let k = b.build().unwrap();
+        let text = disasm::disassemble(&k);
+        prop_assert_eq!(text.lines().count(), k.len() + 1);
+        for (i, line) in text.lines().skip(1).enumerate() {
+            let idx: usize = line.split(':').next().unwrap().trim().parse().unwrap();
+            prop_assert_eq!(idx, i);
+        }
+    }
+
+    /// Register allocation is strictly increasing and the frame size
+    /// covers every register referenced anywhere in the program.
+    #[test]
+    fn register_frame_covers_all_uses(stmts in prop::collection::vec(stmt_strategy(), 1..6)) {
+        let mut b = KernelBuilder::new("prop");
+        b.alloc_shared(4);
+        let x = b.reg();
+        let p = b.reg();
+        b.mov(x, 0u32);
+        emit(&mut b, &stmts, x, p);
+        let k = b.build().unwrap();
+        let max_reg = k
+            .code()
+            .iter()
+            .flat_map(|i| {
+                i.src_regs()
+                    .into_iter()
+                    .flatten()
+                    .chain(i.dst())
+                    .collect::<Vec<_>>()
+            })
+            .map(|r| r.0)
+            .max()
+            .unwrap_or(0);
+        prop_assert!(max_reg < k.num_regs());
+    }
+}
+
+#[test]
+fn deeply_nested_structures_assemble() {
+    // A pathological but legal nesting depth.
+    let mut b = KernelBuilder::new("deep");
+    let x = b.reg();
+    let p = b.reg();
+    b.mov(x, 0u32);
+    fn nest(b: &mut KernelBuilder, x: warped_isa::Reg, p: warped_isa::Reg, depth: u32) {
+        if depth == 0 {
+            b.iadd(x, x, 1u32);
+            return;
+        }
+        b.setp(CmpOp::Lt, CmpType::U32, p, x, depth);
+        b.if_then_else(
+            p,
+            |b| nest(b, x, p, depth - 1),
+            |b| nest(b, x, p, depth - 1),
+        );
+    }
+    nest(&mut b, x, p, 8);
+    let k = b.build().unwrap();
+    k.validate().unwrap();
+    assert!(k.len() > 500, "2^8 leaves, got {}", k.len());
+}

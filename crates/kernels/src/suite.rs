@@ -1,0 +1,321 @@
+//! The benchmark registry: [`Benchmark`], [`Workload`], and the
+//! [`Program`] trait each workload implements.
+
+use crate::common::{CheckError, Footprint};
+use crate::{bfs, bitonic, fft, laplace, libor, matmul, mum, nqueen, radix, scan, sha};
+use warped_isa::KernelError;
+use warped_sim::{Gpu, GpuConfig, IssueObserver, RunStats, SimError};
+
+/// Workload scale. The algorithms are identical across sizes; only input
+/// dimensions change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WorkloadSize {
+    /// Smallest inputs — unit tests and doctests.
+    Tiny,
+    /// Quick experiments (seconds for the full suite).
+    #[default]
+    Small,
+    /// Figure-quality runs (paper-shaped utilization across 30 SMs).
+    Full,
+}
+
+/// One complete GPU program: input generation, one or more kernel
+/// launches (possibly host-controlled, like BFS's per-level loop), and a
+/// CPU reference for validation.
+pub trait Program {
+    /// Benchmark name as the paper spells it.
+    fn name(&self) -> &str;
+
+    /// Allocate, upload, launch (all phases), and read back. Returns the
+    /// accumulated statistics and the primary output buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the simulator.
+    fn execute(
+        &self,
+        gpu: &mut Gpu,
+        observer: &mut dyn IssueObserver,
+    ) -> Result<ProgramRun, SimError>;
+
+    /// Validate a run against the CPU reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckError`] describing the first discrepancy.
+    fn check(&self, run: &ProgramRun) -> Result<(), CheckError>;
+
+    /// Host↔device transfer volume (for the Fig. 10 PCIe model).
+    fn footprint(&self) -> Footprint;
+
+    /// The (single) device kernel this program launches, for disassembly
+    /// and tracing.
+    fn kernel(&self) -> &warped_isa::Kernel;
+}
+
+/// The result of executing a [`Workload`].
+#[derive(Debug, Clone, Default)]
+pub struct ProgramRun {
+    /// Statistics accumulated over all launches of the program.
+    pub stats: RunStats,
+    /// Number of kernel launches performed.
+    pub launches: u32,
+    /// Primary output buffer, read back from device memory.
+    pub output: Vec<u32>,
+}
+
+impl ProgramRun {
+    /// Fold one launch's statistics into the accumulated totals
+    /// (cycles add up because launches are sequential).
+    pub fn absorb(&mut self, s: &RunStats) {
+        self.stats.cycles += s.cycles;
+        self.stats.warp_instructions += s.warp_instructions;
+        self.stats.thread_instructions += s.thread_instructions;
+        self.stats.idle_cycles += s.idle_cycles;
+        self.stats.stall_cycles += s.stall_cycles;
+        for u in 0..3 {
+            self.stats.unit_instructions[u] += s.unit_instructions[u];
+            self.stats.unit_thread_instructions[u] += s.unit_thread_instructions[u];
+        }
+        self.stats.reg_reads += s.reg_reads;
+        self.stats.reg_writes += s.reg_writes;
+        self.stats.blocks += s.blocks;
+        self.stats.dual_issues += s.dual_issues;
+        self.launches += 1;
+    }
+}
+
+/// The paper's benchmark suite (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Breadth-first search over a sparse graph.
+    Bfs,
+    /// N-Queens backtracking.
+    NQueen,
+    /// MUMmer-style DNA string matching.
+    Mum,
+    /// Per-block inclusive prefix sum.
+    Scan,
+    /// In-shared-memory bitonic sort.
+    BitonicSort,
+    /// Jacobi/Laplace 2-D stencil solver.
+    Laplace,
+    /// Tiled dense matrix multiply.
+    MatrixMul,
+    /// Per-block LSD radix sort.
+    RadixSort,
+    /// SHA-1 over independent chunks.
+    Sha,
+    /// LIBOR market-model Monte Carlo.
+    Libor,
+    /// Radix-2 FFT (paper: CUFFT).
+    Fft,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's figure order.
+    pub const ALL: [Benchmark; 11] = [
+        Benchmark::Bfs,
+        Benchmark::NQueen,
+        Benchmark::Mum,
+        Benchmark::Scan,
+        Benchmark::BitonicSort,
+        Benchmark::Laplace,
+        Benchmark::MatrixMul,
+        Benchmark::RadixSort,
+        Benchmark::Sha,
+        Benchmark::Libor,
+        Benchmark::Fft,
+    ];
+
+    /// Name as printed in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Bfs => "BFS",
+            Benchmark::NQueen => "Nqueen",
+            Benchmark::Mum => "MUM",
+            Benchmark::Scan => "SCAN",
+            Benchmark::BitonicSort => "BitonicSort",
+            Benchmark::Laplace => "Laplace",
+            Benchmark::MatrixMul => "MatrixMul",
+            Benchmark::RadixSort => "RadixSort",
+            Benchmark::Sha => "SHA",
+            Benchmark::Libor => "Libor",
+            Benchmark::Fft => "CUFFT",
+        }
+    }
+
+    /// Application category (paper Table 4).
+    pub fn category(&self) -> &'static str {
+        match self {
+            Benchmark::Laplace | Benchmark::Mum | Benchmark::Fft => "Scientific",
+            Benchmark::Bfs | Benchmark::MatrixMul | Benchmark::Scan => "Linear Algebra/Primitives",
+            Benchmark::Libor => "Financial",
+            Benchmark::Sha => "Compression/Encryption",
+            Benchmark::RadixSort | Benchmark::BitonicSort => "Sorting",
+            Benchmark::NQueen => "AI/Simulation",
+        }
+    }
+
+    /// Parse a benchmark from its (case-insensitive) name.
+    pub fn from_name(s: &str) -> Option<Benchmark> {
+        let l = s.to_ascii_lowercase();
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().to_ascii_lowercase() == l)
+            .or(match l.as_str() {
+                "fft" => Some(Benchmark::Fft),
+                "bitonic" => Some(Benchmark::BitonicSort),
+                "radix" => Some(Benchmark::RadixSort),
+                "matmul" => Some(Benchmark::MatrixMul),
+                _ => None,
+            })
+    }
+
+    /// Construct the workload at the given size (inputs are seeded
+    /// deterministically from the benchmark identity).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`KernelError`] if kernel assembly fails (a bug in the
+    /// workload definition, not an input problem).
+    pub fn build(&self, size: WorkloadSize) -> Result<Workload, KernelError> {
+        let inner: Box<dyn Program> = match self {
+            Benchmark::Bfs => Box::new(bfs::Bfs::new(size)?),
+            Benchmark::NQueen => Box::new(nqueen::NQueen::new(size)?),
+            Benchmark::Mum => Box::new(mum::Mum::new(size)?),
+            Benchmark::Scan => Box::new(scan::Scan::new(size)?),
+            Benchmark::BitonicSort => Box::new(bitonic::BitonicSort::new(size)?),
+            Benchmark::Laplace => Box::new(laplace::Laplace::new(size)?),
+            Benchmark::MatrixMul => Box::new(matmul::MatrixMul::new(size)?),
+            Benchmark::RadixSort => Box::new(radix::RadixSort::new(size)?),
+            Benchmark::Sha => Box::new(sha::Sha::new(size)?),
+            Benchmark::Libor => Box::new(libor::Libor::new(size)?),
+            Benchmark::Fft => Box::new(fft::Fft::new(size)?),
+        };
+        Ok(Workload { inner })
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A built benchmark: kernels assembled, inputs generated, reference
+/// ready. See the [crate-level example](crate).
+pub struct Workload {
+    inner: Box<dyn Program>,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Workload({})", self.inner.name())
+    }
+}
+
+impl Workload {
+    /// Benchmark name.
+    pub fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    /// Run on a fresh GPU of the given configuration under `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_with(
+        &self,
+        config: &GpuConfig,
+        observer: &mut dyn IssueObserver,
+    ) -> Result<ProgramRun, SimError> {
+        let mut gpu = Gpu::new(config.clone());
+        self.inner.execute(&mut gpu, observer)
+    }
+
+    /// Run on an existing GPU (memory is reset first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_on(
+        &self,
+        gpu: &mut Gpu,
+        observer: &mut dyn IssueObserver,
+    ) -> Result<ProgramRun, SimError> {
+        gpu.reset_memory();
+        self.inner.execute(gpu, observer)
+    }
+
+    /// Validate a run against the CPU reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckError`] describing the first discrepancy.
+    pub fn check(&self, run: &ProgramRun) -> Result<(), CheckError> {
+        self.inner.check(run)
+    }
+
+    /// Host↔device transfer volume.
+    pub fn footprint(&self) -> Footprint {
+        self.inner.footprint()
+    }
+
+    /// The device kernel, for disassembly (`warped disasm`) and tracing.
+    pub fn kernel(&self) -> &warped_isa::Kernel {
+        self.inner.kernel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_paper_spelled() {
+        let mut names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+        assert!(names.contains(&"CUFFT"));
+        assert!(names.contains(&"BFS"));
+    }
+
+    #[test]
+    fn from_name_roundtrips_and_aliases() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+            assert_eq!(Benchmark::from_name(&b.name().to_lowercase()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("fft"), Some(Benchmark::Fft));
+        assert_eq!(Benchmark::from_name("matmul"), Some(Benchmark::MatrixMul));
+        assert_eq!(Benchmark::from_name("nope"), None);
+    }
+
+    #[test]
+    fn categories_cover_table4() {
+        let cats: std::collections::BTreeSet<&str> =
+            Benchmark::ALL.iter().map(|b| b.category()).collect();
+        assert_eq!(cats.len(), 6);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut run = ProgramRun::default();
+        let s = RunStats {
+            cycles: 10,
+            warp_instructions: 5,
+            unit_instructions: [3, 1, 1],
+            ..Default::default()
+        };
+        run.absorb(&s);
+        run.absorb(&s);
+        assert_eq!(run.stats.cycles, 20);
+        assert_eq!(run.stats.warp_instructions, 10);
+        assert_eq!(run.stats.unit_instructions, [6, 2, 2]);
+        assert_eq!(run.launches, 2);
+    }
+}

@@ -1,0 +1,20 @@
+//! # warped-power
+//!
+//! Analytical GPU power and energy model after Hong & Kim (ISCA 2010),
+//! as used by the paper's §5.4 / Fig. 11:
+//!
+//! ```text
+//! RP_comp      = MaxPower_comp × AccessRate_comp          (paper Eq. 1)
+//! AccessRate   = accesses_comp / (exec_cycles × num_SMs)  (paper Eq. 2)
+//! total power  = Σ RP_comp + per-SM constant + chip idle power
+//! energy       = total power × exec_cycles × 1.25 ns
+//! ```
+//!
+//! Warped-DMR adds redundant execution-unit accesses (one per verified
+//! thread-instruction) and ReplayQ traffic, and stretches execution time;
+//! memory components are excluded because redundant executions reuse
+//! already-loaded data (paper §5.4).
+
+pub mod model;
+
+pub use model::{estimate, PowerEstimate, PowerParams};

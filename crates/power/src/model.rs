@@ -1,0 +1,212 @@
+//! The analytical power model (paper Eq. 1–2, after Hong & Kim ISCA'10).
+
+use warped_core::DmrReport;
+use warped_sim::{GpuConfig, RunStats, WARP_SIZE};
+
+/// Per-component maximum-power parameters, in watts per SM at an access
+/// rate of one warp-instruction per cycle.
+///
+/// The magnitudes follow Hong & Kim's per-component split for a GTX280 /
+/// Fermi-class part (execution units dominate dynamic power); Fig. 11
+/// reports power *normalized* to the unprotected baseline, so only the
+/// split matters, not the absolute scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// SP cluster max power per SM.
+    pub max_sp: f64,
+    /// SFU max power per SM.
+    pub max_sfu: f64,
+    /// LD/ST address path max power per SM.
+    pub max_ldst: f64,
+    /// Register file max power per SM (per operand access).
+    pub max_rf: f64,
+    /// Fetch/decode/schedule max power per SM.
+    pub max_fds: f64,
+    /// ReplayQ + RFU + comparator max power per SM (Warped-DMR additions).
+    pub max_dmr_overhead: f64,
+    /// Constant per-SM runtime power.
+    pub const_sm: f64,
+    /// Idle (static) power per SM in watts — static power is ~60% of
+    /// total GPGPU power per the paper §3.4.
+    pub idle_per_sm: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams {
+            max_sp: 6.0,
+            max_sfu: 2.0,
+            max_ldst: 2.0,
+            max_rf: 1.0,
+            max_fds: 2.0,
+            max_dmr_overhead: 0.4,
+            const_sm: 0.5,
+            idle_per_sm: 2.5,
+        }
+    }
+}
+
+/// Power and energy estimate for one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerEstimate {
+    /// Dynamic (runtime) power over the whole chip, watts.
+    pub runtime_w: f64,
+    /// Total power including idle/static, watts.
+    pub total_w: f64,
+    /// Execution time, nanoseconds.
+    pub time_ns: f64,
+    /// Energy, millijoules.
+    pub energy_mj: f64,
+}
+
+impl PowerEstimate {
+    /// Power of `self` relative to `base`.
+    pub fn power_ratio(&self, base: &PowerEstimate) -> f64 {
+        self.total_w / base.total_w
+    }
+
+    /// Energy of `self` relative to `base`.
+    pub fn energy_ratio(&self, base: &PowerEstimate) -> f64 {
+        self.energy_mj / base.energy_mj
+    }
+}
+
+/// Estimate power/energy for a run.
+///
+/// `stats` must come from the run being priced (the DMR run when `dmr`
+/// is provided — its `cycles` already include DMR stalls). Redundant
+/// executions add execution-unit accesses in proportion to each unit's
+/// share; memory components are excluded (redundant executions reuse
+/// loaded data, paper §5.4).
+pub fn estimate(
+    stats: &RunStats,
+    gpu: &GpuConfig,
+    params: &PowerParams,
+    dmr: Option<&DmrReport>,
+) -> PowerEstimate {
+    let cycles = stats.cycles.max(1) as f64;
+    let sms = gpu.num_sms as f64;
+    let norm = cycles * sms; // access-rate denominator (per SM per cycle)
+    let w = WARP_SIZE as f64;
+
+    // Warp-granular access counts per unit.
+    let mut unit_acc = [0.0f64; 3];
+    for (i, acc) in unit_acc.iter_mut().enumerate() {
+        *acc = stats.unit_thread_instructions[i] as f64 / w;
+    }
+    // Redundant executions: covered thread-instructions re-execute on the
+    // same mix of units.
+    let mut dmr_overhead_acc = 0.0;
+    if let Some(r) = dmr {
+        let covered = r.covered_thread_instrs() as f64 / w;
+        let total: f64 = unit_acc.iter().sum();
+        if total > 0.0 {
+            let scale = covered / total;
+            for acc in &mut unit_acc {
+                *acc *= 1.0 + scale;
+            }
+        }
+        dmr_overhead_acc = covered;
+    }
+
+    let rf_acc = (stats.reg_reads + stats.reg_writes) as f64 / w;
+    let fds_acc = stats.warp_instructions as f64;
+
+    let dynamic_per_chip = (params.max_sp * unit_acc[0]
+        + params.max_sfu * unit_acc[1]
+        + params.max_ldst * unit_acc[2]
+        + params.max_rf * rf_acc
+        + params.max_fds * fds_acc
+        + params.max_dmr_overhead * dmr_overhead_acc)
+        / norm
+        * sms;
+
+    let runtime_w = dynamic_per_chip + params.const_sm * sms;
+    let total_w = runtime_w + params.idle_per_sm * sms;
+    let time_ns = cycles * gpu.clock_ns;
+    PowerEstimate {
+        runtime_w,
+        total_w,
+        time_ns,
+        energy_mj: total_w * time_ns * 1e-9 * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_core::{DmrConfig, WarpedDmr};
+    use warped_kernels::{Benchmark, WorkloadSize};
+    use warped_sim::NullObserver;
+
+    fn base_and_dmr(bench: Benchmark) -> (PowerEstimate, PowerEstimate) {
+        let gpu = GpuConfig::small();
+        let params = PowerParams::default();
+        let w = bench.build(WorkloadSize::Tiny).unwrap();
+        let base_run = w.run_with(&gpu, &mut NullObserver).unwrap();
+        let base = estimate(&base_run.stats, &gpu, &params, None);
+        let mut engine = WarpedDmr::new(DmrConfig::default(), &gpu);
+        let dmr_run = w.run_with(&gpu, &mut engine).unwrap();
+        let report = engine.report();
+        let with = estimate(&dmr_run.stats, &gpu, &params, Some(&report));
+        (base, with)
+    }
+
+    #[test]
+    fn dmr_raises_power_moderately() {
+        // Scan is covered almost entirely by zero-cost intra-warp DMR:
+        // execution-unit accesses nearly double at unchanged runtime, so
+        // average power must rise (the paper's +11% effect).
+        let (base, with) = base_and_dmr(Benchmark::Scan);
+        let ratio = with.power_ratio(&base);
+        assert!(ratio > 1.0, "DMR must cost some power, ratio {ratio}");
+        assert!(
+            ratio < 1.6,
+            "power overhead should be moderate, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn dmr_energy_exceeds_power_ratio_when_slower() {
+        let (base, with) = base_and_dmr(Benchmark::Sha);
+        assert!(with.time_ns >= base.time_ns);
+        assert!(with.energy_ratio(&base) >= with.power_ratio(&base) * 0.999);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let gpu = GpuConfig::small();
+        let stats = RunStats {
+            cycles: 1000,
+            warp_instructions: 800,
+            unit_thread_instructions: [800 * 32, 0, 0],
+            reg_reads: 800 * 32 * 2,
+            reg_writes: 800 * 32,
+            ..Default::default()
+        };
+        let p = estimate(&stats, &gpu, &PowerParams::default(), None);
+        let expect_mj = p.total_w * p.time_ns * 1e-6;
+        assert!((p.energy_mj - expect_mj).abs() < 1e-9);
+        assert!(p.total_w > p.runtime_w);
+    }
+
+    #[test]
+    fn zero_cycles_does_not_divide_by_zero() {
+        let gpu = GpuConfig::small();
+        let p = estimate(&RunStats::default(), &gpu, &PowerParams::default(), None);
+        assert!(p.total_w.is_finite());
+        assert!(
+            p.energy_mj < 1e-3,
+            "a zero-stat run has (at most) one cycle of energy"
+        );
+    }
+
+    #[test]
+    fn idle_power_dominates_idle_chips() {
+        let gpu = GpuConfig::small();
+        let p = estimate(&RunStats::default(), &gpu, &PowerParams::default(), None);
+        // Only constant + idle power remain.
+        let expect = (PowerParams::default().idle_per_sm + 0.5) * gpu.num_sms as f64;
+        assert!((p.total_w - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,457 @@
+//! Statistics collectors: [`IssueObserver`]s that feed the paper's
+//! characterization figures.
+//!
+//! * [`ActiveThreadCollector`] — Fig. 1 (execution-time breakdown by
+//!   number of active threads).
+//! * [`UnitTypeCollector`] — Fig. 5 (execution-time breakdown by
+//!   instruction type).
+//! * [`TypeSwitchCollector`] — Fig. 8a (cycles between instruction-type
+//!   switches).
+//! * [`RawDistanceCollector`] — Fig. 8b (RAW dependency distances).
+//! * [`OccupancyCollector`] — issue efficiency per SM (not a paper
+//!   figure; a profiling aid).
+//! * [`TraceCollector`] — a bounded execution trace for debugging.
+
+use crate::observer::{IssueInfo, IssueObserver};
+use warped_isa::{Pc, UnitType};
+use warped_stats::{LogHistogram, RangeHistogram, RunLengthTracker};
+
+/// One recorded issue event (see [`TraceCollector`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Issue cycle.
+    pub cycle: u64,
+    /// Issuing SM.
+    pub sm: usize,
+    /// Warp uid.
+    pub warp_uid: u64,
+    /// Program counter.
+    pub pc: Pc,
+    /// Disassembled instruction text.
+    pub text: String,
+    /// Execution unit.
+    pub unit: UnitType,
+    /// Active mask.
+    pub mask: u32,
+}
+
+impl std::fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:>8}] sm{} w{:<3} {} mask={:08x} ({:>2} active) {:5}  {}",
+            self.cycle,
+            self.sm,
+            self.warp_uid,
+            self.pc,
+            self.mask,
+            self.mask.count_ones(),
+            self.unit.to_string(),
+            self.text
+        )
+    }
+}
+
+/// Records the first `capacity` issued instructions, optionally filtered
+/// to one SM — an execution trace for debugging kernels and DMR timing.
+#[derive(Debug, Clone)]
+pub struct TraceCollector {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    sm_filter: Option<usize>,
+}
+
+impl TraceCollector {
+    /// Trace the first `capacity` issues across all SMs.
+    pub fn new(capacity: usize) -> Self {
+        TraceCollector {
+            records: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            sm_filter: None,
+        }
+    }
+
+    /// Restrict the trace to one SM.
+    #[must_use]
+    pub fn only_sm(mut self, sm: usize) -> Self {
+        self.sm_filter = Some(sm);
+        self
+    }
+
+    /// The recorded events, in issue order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+}
+
+impl IssueObserver for TraceCollector {
+    fn on_issue(&mut self, info: &IssueInfo<'_>) -> u64 {
+        if self.records.len() < self.capacity && self.sm_filter.is_none_or(|sm| sm == info.sm_id) {
+            self.records.push(TraceRecord {
+                cycle: info.cycle,
+                sm: info.sm_id,
+                warp_uid: info.warp_uid,
+                pc: info.pc,
+                text: info.instr.to_string(),
+                unit: info.unit,
+                mask: info.active_mask,
+            });
+        }
+        0
+    }
+}
+
+/// Paper Fig. 1 bucket edges for active-thread counts.
+pub const ACTIVE_THREAD_EDGES: [u32; 5] = [1, 2, 12, 22, 32];
+
+/// Histogram of active-thread counts per issued warp-instruction
+/// (paper Fig. 1).
+#[derive(Debug, Clone)]
+pub struct ActiveThreadCollector {
+    hist: RangeHistogram,
+}
+
+impl Default for ActiveThreadCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ActiveThreadCollector {
+    /// Create a collector with the paper's buckets (1, 2-11, 12-21, 22-31, 32).
+    pub fn new() -> Self {
+        ActiveThreadCollector {
+            hist: RangeHistogram::new(&ACTIVE_THREAD_EDGES),
+        }
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &RangeHistogram {
+        &self.hist
+    }
+
+    /// Fraction of issued instructions executed by a fully-utilized warp.
+    pub fn full_warp_fraction(&self) -> f64 {
+        self.hist.fraction(self.hist.num_buckets() - 1)
+    }
+}
+
+impl IssueObserver for ActiveThreadCollector {
+    fn on_issue(&mut self, info: &IssueInfo<'_>) -> u64 {
+        self.hist.record(info.active_count(), 1);
+        0
+    }
+}
+
+/// Per-unit instruction counts (paper Fig. 5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitTypeCollector {
+    counts: [u64; 3],
+}
+
+impl UnitTypeCollector {
+    /// Create an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Instructions issued to `unit`.
+    pub fn count(&self, unit: UnitType) -> u64 {
+        self.counts[unit.index()]
+    }
+
+    /// Fraction of instructions issued to `unit`.
+    pub fn fraction(&self, unit: UnitType) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[unit.index()] as f64 / total as f64
+        }
+    }
+}
+
+impl IssueObserver for UnitTypeCollector {
+    fn on_issue(&mut self, info: &IssueInfo<'_>) -> u64 {
+        self.counts[info.unit.index()] += 1;
+        0
+    }
+}
+
+/// Average cycle distance before an SM's issue stream switches execution
+/// unit type (paper Fig. 8a). Tracked per SM, then pooled.
+#[derive(Debug, Clone, Default)]
+pub struct TypeSwitchCollector {
+    per_sm: Vec<RunLengthTracker<usize>>,
+}
+
+impl TypeSwitchCollector {
+    /// Create an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn tracker(&mut self, sm_id: usize) -> &mut RunLengthTracker<usize> {
+        if self.per_sm.len() <= sm_id {
+            self.per_sm.resize_with(sm_id + 1, RunLengthTracker::new);
+        }
+        &mut self.per_sm[sm_id]
+    }
+
+    /// Pooled average run length (cycles before a switch) for `unit`.
+    pub fn average(&self, unit: UnitType) -> Option<f64> {
+        let (sum, runs) = self
+            .per_sm
+            .iter()
+            .map(|t| t.raw(unit.index()))
+            .fold((0u64, 0u64), |(s, n), (ts, tn)| (s + ts, n + tn));
+        (runs > 0).then(|| sum as f64 / runs as f64)
+    }
+}
+
+impl IssueObserver for TypeSwitchCollector {
+    fn on_issue(&mut self, info: &IssueInfo<'_>) -> u64 {
+        let unit = info.unit.index();
+        let (cycle, sm) = (info.cycle, info.sm_id);
+        self.tracker(sm).push(cycle, unit);
+        0
+    }
+
+    fn on_sm_done(&mut self, sm_id: usize, cycle: u64) -> u64 {
+        // Close the open run; across multi-launch programs this fires per
+        // launch, which is correct (each launch is a fresh issue stream).
+        self.tracker(sm_id).finish(cycle);
+        0
+    }
+}
+
+/// Log-scale histogram of issue-to-issue RAW dependency distances
+/// (paper Fig. 8b).
+#[derive(Debug, Clone, Default)]
+pub struct RawDistanceCollector {
+    hist: LogHistogram,
+    min: Option<u64>,
+}
+
+impl RawDistanceCollector {
+    /// Create an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The distance histogram.
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
+    }
+
+    /// Smallest distance observed.
+    pub fn min_distance(&self) -> Option<u64> {
+        self.min
+    }
+}
+
+impl IssueObserver for RawDistanceCollector {
+    fn on_issue(&mut self, info: &IssueInfo<'_>) -> u64 {
+        for d in info.raw_dists.into_iter().flatten() {
+            self.hist.record(d);
+            self.min = Some(self.min.map_or(d, |m| m.min(d)));
+        }
+        0
+    }
+}
+
+/// Issue efficiency per SM: how many cycles each SM actually issued,
+/// idled, or sat stalled — the utilization summary behind `warped run`.
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyCollector {
+    issued: Vec<u64>,
+    idle: Vec<u64>,
+}
+
+impl OccupancyCollector {
+    /// Create an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(v: &mut Vec<u64>, sm: usize) -> &mut u64 {
+        if v.len() <= sm {
+            v.resize(sm + 1, 0);
+        }
+        &mut v[sm]
+    }
+
+    /// Warp-instructions issued by `sm`.
+    pub fn issued(&self, sm: usize) -> u64 {
+        self.issued.get(sm).copied().unwrap_or(0)
+    }
+
+    /// Idle issue slots observed on `sm`.
+    pub fn idle(&self, sm: usize) -> u64 {
+        self.idle.get(sm).copied().unwrap_or(0)
+    }
+
+    /// Number of SMs that issued at least one instruction.
+    pub fn active_sms(&self) -> usize {
+        self.issued.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Fraction of observed slots on `sm` that issued (issue efficiency).
+    pub fn efficiency(&self, sm: usize) -> f64 {
+        let i = self.issued(sm);
+        let total = i + self.idle(sm);
+        if total == 0 {
+            0.0
+        } else {
+            i as f64 / total as f64
+        }
+    }
+
+    /// Chip-wide issue efficiency over SMs that had work.
+    pub fn chip_efficiency(&self) -> f64 {
+        let issued: u64 = self.issued.iter().sum();
+        let idle: u64 = self.idle.iter().sum();
+        if issued + idle == 0 {
+            0.0
+        } else {
+            issued as f64 / (issued + idle) as f64
+        }
+    }
+}
+
+impl IssueObserver for OccupancyCollector {
+    fn on_issue(&mut self, info: &IssueInfo<'_>) -> u64 {
+        *Self::slot(&mut self.issued, info.sm_id) += 1;
+        0
+    }
+
+    fn on_idle(&mut self, sm_id: usize, _cycle: u64) {
+        *Self::slot(&mut self.idle, sm_id) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GpuConfig, WARP_SIZE};
+    use crate::gpu::Gpu;
+    use crate::launch::LaunchConfig;
+    use crate::observer::MultiObserver;
+    use warped_isa::{CmpOp, CmpType, KernelBuilder, SpecialReg};
+
+    /// Kernel with half-warp divergence, SFU use and loads.
+    fn mixed_kernel() -> warped_isa::Kernel {
+        let mut b = KernelBuilder::new("mixed");
+        let [lane, p, x, addr] = b.regs();
+        b.mov(lane, SpecialReg::LaneId);
+        b.setp(CmpOp::Lt, CmpType::U32, p, lane, 16u32);
+        b.if_then(p, |b| {
+            b.cvt_u2f(x, lane);
+            b.sin(x, x);
+        });
+        b.iadd(addr, b.param(0), lane);
+        b.ld_global(x, addr, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn collectors_see_the_run() {
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let buf = gpu.alloc_words(64);
+        let launch = LaunchConfig::linear(1, 32).with_params(vec![buf]);
+
+        let mut active = ActiveThreadCollector::new();
+        let mut units = UnitTypeCollector::new();
+        let mut switches = TypeSwitchCollector::new();
+        let mut raw = RawDistanceCollector::new();
+        {
+            let mut multi = MultiObserver::new();
+            multi
+                .push(&mut active)
+                .push(&mut units)
+                .push(&mut switches)
+                .push(&mut raw);
+            gpu.launch(&mixed_kernel(), &launch, &mut multi).unwrap();
+        }
+
+        // Divergent region: cvt + sin run with 16 active threads.
+        assert!(active.histogram().fraction(2) > 0.0, "12-21 bucket empty");
+        // Full-warp instructions exist too.
+        assert!(active.full_warp_fraction() > 0.0);
+
+        assert!(units.count(UnitType::Sfu) >= 1);
+        assert!(units.count(UnitType::LdSt) >= 1);
+        assert!(units.count(UnitType::Sp) >= 4);
+        let total: f64 = [UnitType::Sp, UnitType::Sfu, UnitType::LdSt]
+            .iter()
+            .map(|u| units.fraction(*u))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+
+        assert!(switches.average(UnitType::Sp).is_some());
+
+        // RAW floor: rf(3) + sp(5) = 8 cycles.
+        assert!(raw.min_distance().unwrap() >= 8);
+    }
+
+    #[test]
+    fn active_thread_bucket_edges_match_paper() {
+        assert_eq!(ACTIVE_THREAD_EDGES, [1, 2, 12, 22, 32]);
+        let c = ActiveThreadCollector::new();
+        assert_eq!(c.histogram().bucket_label(0), "1");
+        assert_eq!(c.histogram().bucket_label(4), format!("{WARP_SIZE}+"));
+    }
+
+    #[test]
+    fn unit_fraction_on_empty_collector() {
+        let c = UnitTypeCollector::new();
+        assert_eq!(c.fraction(UnitType::Sp), 0.0);
+    }
+
+    #[test]
+    fn type_switch_average_missing_without_runs() {
+        let c = TypeSwitchCollector::new();
+        assert_eq!(c.average(UnitType::Sfu), None);
+    }
+
+    #[test]
+    fn trace_collector_records_in_order_up_to_capacity() {
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let buf = gpu.alloc_words(64);
+        let launch = LaunchConfig::linear(1, 32).with_params(vec![buf]);
+        let mut t = TraceCollector::new(5);
+        gpu.launch(&mixed_kernel(), &launch, &mut t).unwrap();
+        assert_eq!(t.records().len(), 5);
+        assert!(t.records().windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        let line = t.records()[0].to_string();
+        assert!(line.contains("sm0"));
+        assert!(!line.is_empty());
+    }
+
+    #[test]
+    fn occupancy_tracks_issue_efficiency() {
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let buf = gpu.alloc_words(64);
+        let launch = LaunchConfig::linear(1, 32).with_params(vec![buf]);
+        let mut o = OccupancyCollector::new();
+        gpu.launch(&mixed_kernel(), &launch, &mut o).unwrap();
+        // One block lands on one SM; the other never issues.
+        assert_eq!(o.active_sms(), 1);
+        let eff = o.efficiency(0).max(o.efficiency(1));
+        assert!(eff > 0.0 && eff <= 1.0);
+        assert!(o.chip_efficiency() > 0.0);
+        assert_eq!(OccupancyCollector::new().chip_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn trace_collector_sm_filter() {
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let buf = gpu.alloc_words(256);
+        // 4 blocks spread over 2 SMs.
+        let launch = LaunchConfig::linear(4, 32).with_params(vec![buf]);
+        let mut t = TraceCollector::new(1000).only_sm(1);
+        gpu.launch(&mixed_kernel(), &launch, &mut t).unwrap();
+        assert!(!t.records().is_empty());
+        assert!(t.records().iter().all(|r| r.sm == 1));
+    }
+}

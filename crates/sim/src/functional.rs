@@ -1,0 +1,224 @@
+//! Pure functional semantics of every opcode.
+//!
+//! These helpers compute one lane's result; the SM drives them per active
+//! lane. Keeping them pure makes the ISA semantics independently testable
+//! and lets the fault-injection campaign re-derive "golden" values.
+
+use crate::value::{as_f32, f32_to_i32, f32_to_u32, fmax, fmin, from_f32};
+use warped_isa::{AluBinOp, AluUnOp, CmpOp, CmpType, SfuOp};
+
+/// Evaluate a two-operand ALU op.
+pub fn eval_bin(op: AluBinOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluBinOp::IAdd => a.wrapping_add(b),
+        AluBinOp::ISub => a.wrapping_sub(b),
+        AluBinOp::IMul => a.wrapping_mul(b),
+        AluBinOp::IMulHi => ((a as u64 * b as u64) >> 32) as u32,
+        AluBinOp::IMin => (a as i32).min(b as i32) as u32,
+        AluBinOp::IMax => (a as i32).max(b as i32) as u32,
+        AluBinOp::UMin => a.min(b),
+        AluBinOp::UMax => a.max(b),
+        AluBinOp::And => a & b,
+        AluBinOp::Or => a | b,
+        AluBinOp::Xor => a ^ b,
+        AluBinOp::Shl => a << (b & 31),
+        AluBinOp::Shr => a >> (b & 31),
+        AluBinOp::Sra => ((a as i32) >> (b & 31)) as u32,
+        AluBinOp::URem => a.checked_rem(b).unwrap_or(0),
+        AluBinOp::UDiv => a.checked_div(b).unwrap_or(0),
+        AluBinOp::FAdd => from_f32(as_f32(a) + as_f32(b)),
+        AluBinOp::FSub => from_f32(as_f32(a) - as_f32(b)),
+        AluBinOp::FMul => from_f32(as_f32(a) * as_f32(b)),
+        AluBinOp::FMin => from_f32(fmin(as_f32(a), as_f32(b))),
+        AluBinOp::FMax => from_f32(fmax(as_f32(a), as_f32(b))),
+    }
+}
+
+/// Evaluate a one-operand ALU op.
+pub fn eval_un(op: AluUnOp, a: u32) -> u32 {
+    match op {
+        AluUnOp::Mov => a,
+        AluUnOp::Not => !a,
+        AluUnOp::INeg => (a as i32).wrapping_neg() as u32,
+        AluUnOp::FNeg => from_f32(-as_f32(a)),
+        AluUnOp::FAbs => from_f32(as_f32(a).abs()),
+        AluUnOp::CvtI2F => from_f32(a as i32 as f32),
+        AluUnOp::CvtU2F => from_f32(a as f32),
+        AluUnOp::CvtF2I => f32_to_i32(as_f32(a)) as u32,
+        AluUnOp::CvtF2U => f32_to_u32(as_f32(a)),
+        AluUnOp::Clz => a.leading_zeros(),
+        AluUnOp::Popc => a.count_ones(),
+    }
+}
+
+/// Evaluate an integer multiply-add (`a * b + c`, wrapping).
+pub fn eval_imad(a: u32, b: u32, c: u32) -> u32 {
+    a.wrapping_mul(b).wrapping_add(c)
+}
+
+/// Evaluate a fused float multiply-add.
+pub fn eval_ffma(a: u32, b: u32, c: u32) -> u32 {
+    from_f32(as_f32(a).mul_add(as_f32(b), as_f32(c)))
+}
+
+/// Evaluate a transcendental SFU op.
+pub fn eval_sfu(op: SfuOp, a: u32) -> u32 {
+    let x = as_f32(a);
+    let r = match op {
+        SfuOp::Sin => x.sin(),
+        SfuOp::Cos => x.cos(),
+        SfuOp::Sqrt => x.sqrt(),
+        SfuOp::Rsqrt => 1.0 / x.sqrt(),
+        SfuOp::Rcp => 1.0 / x,
+        SfuOp::Ex2 => x.exp2(),
+        SfuOp::Lg2 => x.log2(),
+    };
+    from_f32(r)
+}
+
+/// Evaluate a comparison, returning 1 or 0.
+pub fn eval_cmp(cmp: CmpOp, ty: CmpType, a: u32, b: u32) -> u32 {
+    let r = match ty {
+        CmpType::I32 => {
+            let (a, b) = (a as i32, b as i32);
+            match cmp {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+            }
+        }
+        CmpType::U32 => match cmp {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        },
+        CmpType::F32 => {
+            let (a, b) = (as_f32(a), as_f32(b));
+            match cmp {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+            }
+        }
+    };
+    r as u32
+}
+
+/// Evaluate a select.
+pub fn eval_sel(cond: u32, if_true: u32, if_false: u32) -> u32 {
+    if cond != 0 {
+        if_true
+    } else {
+        if_false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ops_wrap() {
+        assert_eq!(eval_bin(AluBinOp::IAdd, u32::MAX, 1), 0);
+        assert_eq!(eval_bin(AluBinOp::ISub, 0, 1), u32::MAX);
+        assert_eq!(eval_bin(AluBinOp::IMul, 0x8000_0000, 2), 0);
+    }
+
+    #[test]
+    fn mulhi_matches_wide_product() {
+        assert_eq!(eval_bin(AluBinOp::IMulHi, u32::MAX, u32::MAX), 0xffff_fffe);
+        assert_eq!(eval_bin(AluBinOp::IMulHi, 2, 3), 0);
+    }
+
+    #[test]
+    fn signed_vs_unsigned_minmax() {
+        let neg1 = -1i32 as u32;
+        assert_eq!(eval_bin(AluBinOp::IMin, neg1, 1), neg1);
+        assert_eq!(eval_bin(AluBinOp::UMin, neg1, 1), 1);
+        assert_eq!(eval_bin(AluBinOp::IMax, neg1, 1), 1);
+        assert_eq!(eval_bin(AluBinOp::UMax, neg1, 1), neg1);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(eval_bin(AluBinOp::Shl, 1, 33), 2);
+        assert_eq!(eval_bin(AluBinOp::Shr, 0x8000_0000, 31), 1);
+        assert_eq!(eval_bin(AluBinOp::Sra, 0x8000_0000, 31), u32::MAX);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        assert_eq!(eval_bin(AluBinOp::UDiv, 5, 0), 0);
+        assert_eq!(eval_bin(AluBinOp::URem, 5, 0), 0);
+        assert_eq!(eval_bin(AluBinOp::UDiv, 7, 2), 3);
+        assert_eq!(eval_bin(AluBinOp::URem, 7, 2), 1);
+    }
+
+    #[test]
+    fn float_ops_bitcast() {
+        let a = 1.5f32.to_bits();
+        let b = 2.5f32.to_bits();
+        assert_eq!(eval_bin(AluBinOp::FAdd, a, b), 4.0f32.to_bits());
+        assert_eq!(eval_bin(AluBinOp::FMul, a, b), 3.75f32.to_bits());
+        assert_eq!(eval_ffma(a, b, a), (1.5f32.mul_add(2.5, 1.5)).to_bits());
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(eval_un(AluUnOp::Not, 0), u32::MAX);
+        assert_eq!(eval_un(AluUnOp::INeg, 5), (-5i32) as u32);
+        assert_eq!(eval_un(AluUnOp::Clz, 1), 31);
+        assert_eq!(eval_un(AluUnOp::Popc, 0b1011), 3);
+        assert_eq!(
+            eval_un(AluUnOp::CvtI2F, (-2i32) as u32),
+            (-2.0f32).to_bits()
+        );
+        assert_eq!(eval_un(AluUnOp::CvtF2I, 3.9f32.to_bits()), 3);
+    }
+
+    #[test]
+    fn imad_composes() {
+        assert_eq!(eval_imad(3, 4, 5), 17);
+        assert_eq!(eval_imad(u32::MAX, 2, 3), 1);
+    }
+
+    #[test]
+    fn sfu_ops_are_close() {
+        let x = 0.5f32;
+        let sin = f32::from_bits(eval_sfu(SfuOp::Sin, x.to_bits()));
+        assert!((sin - x.sin()).abs() < 1e-6);
+        let r = f32::from_bits(eval_sfu(SfuOp::Rcp, 4.0f32.to_bits()));
+        assert_eq!(r, 0.25);
+        let e = f32::from_bits(eval_sfu(SfuOp::Ex2, 3.0f32.to_bits()));
+        assert_eq!(e, 8.0);
+    }
+
+    #[test]
+    fn comparisons_respect_type() {
+        let neg1 = -1i32 as u32;
+        assert_eq!(eval_cmp(CmpOp::Lt, CmpType::I32, neg1, 0), 1);
+        assert_eq!(eval_cmp(CmpOp::Lt, CmpType::U32, neg1, 0), 0);
+        let a = 1.0f32.to_bits();
+        let b = 2.0f32.to_bits();
+        assert_eq!(eval_cmp(CmpOp::Lt, CmpType::F32, a, b), 1);
+        let nan = f32::NAN.to_bits();
+        assert_eq!(eval_cmp(CmpOp::Eq, CmpType::F32, nan, nan), 0);
+        assert_eq!(eval_cmp(CmpOp::Ne, CmpType::F32, nan, nan), 1);
+    }
+
+    #[test]
+    fn select_picks_branch() {
+        assert_eq!(eval_sel(1, 10, 20), 10);
+        assert_eq!(eval_sel(0, 10, 20), 20);
+        assert_eq!(eval_sel(0xff, 10, 20), 10);
+    }
+}

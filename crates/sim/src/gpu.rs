@@ -1,0 +1,383 @@
+//! The GPU chip: block dispatch across SMs and the global cycle loop.
+
+use crate::config::GpuConfig;
+use crate::launch::{LaunchConfig, RunStats, SimError};
+use crate::memory::GlobalMemory;
+use crate::observer::IssueObserver;
+use crate::sm::{Sm, StepOutcome};
+use warped_isa::Kernel;
+
+/// The simulated GPU: configuration plus device-global memory.
+///
+/// Memory persists across launches so hosts can upload inputs, launch, and
+/// read back outputs, mirroring the CUDA flow:
+///
+/// ```
+/// use warped_sim::{Gpu, GpuConfig, LaunchConfig, NullObserver};
+/// use warped_isa::KernelBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut gpu = Gpu::new(GpuConfig::small());
+/// let buf = gpu.alloc_words(32);
+/// gpu.write_words(buf, &[7; 32]);
+///
+/// let mut b = KernelBuilder::new("incr");
+/// let [tid, v, addr] = b.regs();
+/// b.mov(tid, warped_isa::SpecialReg::GlobalTid);
+/// b.iadd(addr, b.param(0), tid);
+/// b.ld_global(v, addr, 0);
+/// b.iadd(v, v, 1u32);
+/// b.st_global(addr, 0, v);
+/// let kernel = b.build()?;
+///
+/// gpu.launch(&kernel, &LaunchConfig::linear(1, 32).with_params(vec![buf]), &mut NullObserver)?;
+/// assert_eq!(gpu.read_words(buf, 32), vec![8; 32]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    config: GpuConfig,
+    global: GlobalMemory,
+    block_redundancy: u32,
+}
+
+impl Gpu {
+    /// Create a GPU with zeroed global memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is internally inconsistent
+    /// (see [`GpuConfig::assert_valid`]).
+    pub fn new(config: GpuConfig) -> Self {
+        config.assert_valid();
+        let global = GlobalMemory::new(config.global_mem_words);
+        Gpu {
+            config,
+            global,
+            block_redundancy: 1,
+        }
+    }
+
+    /// Execute every logical thread block `copies` times per launch
+    /// (default 1). Redundant copies receive the *same* block coordinates
+    /// and global thread ids, so they recompute — and re-store — identical
+    /// values. This models the R-Thread software scheme (Dimitrov et al.),
+    /// where a kernel's block count is doubled for redundancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies` is zero.
+    pub fn set_block_redundancy(&mut self, copies: u32) {
+        assert!(copies > 0, "need at least one copy of each block");
+        self.block_redundancy = copies;
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Reserve `len` words of global memory (host-side `cudaMalloc`).
+    pub fn alloc_words(&mut self, len: usize) -> u32 {
+        self.global.alloc(len)
+    }
+
+    /// Upload data (host-side `cudaMemcpy` host→device).
+    pub fn write_words(&mut self, base: u32, data: &[u32]) {
+        self.global.write_slice(base, data);
+    }
+
+    /// Download data (host-side `cudaMemcpy` device→host).
+    pub fn read_words(&self, base: u32, len: usize) -> Vec<u32> {
+        self.global.read_slice(base, len)
+    }
+
+    /// Zero memory and release all allocations (between experiments).
+    pub fn reset_memory(&mut self) {
+        self.global.reset();
+    }
+
+    /// Direct access to global memory (fault campaigns, debugging).
+    pub fn global_mem(&self) -> &GlobalMemory {
+        &self.global
+    }
+
+    /// Execute `kernel` with geometry `launch`, reporting every issue slot
+    /// to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyLaunch`] / [`SimError::BlockTooLarge`] for bad
+    ///   geometry.
+    /// * Functional errors (out-of-bounds access, missing parameter)
+    ///   surfaced from any lane.
+    /// * [`SimError::Deadlock`] if no instruction issues for an
+    ///   implausibly long time (barrier deadlock).
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        launch: &LaunchConfig,
+        observer: &mut dyn IssueObserver,
+    ) -> Result<RunStats, SimError> {
+        kernel.validate().map_err(|_| SimError::EmptyLaunch)?;
+        if launch.num_blocks() == 0 || launch.threads_per_block() == 0 {
+            return Err(SimError::EmptyLaunch);
+        }
+        let wpb = launch.warps_per_block();
+        if wpb > self.config.max_warps_per_sm {
+            return Err(SimError::BlockTooLarge {
+                warps: wpb,
+                max: self.config.max_warps_per_sm,
+            });
+        }
+
+        let mut sms: Vec<Sm> = (0..self.config.num_sms)
+            .map(|i| Sm::new(i, self.config.clone()))
+            .collect();
+
+        // Pending blocks in row-major order, handed out on demand.
+        // With block redundancy, physical block `b` stands in for logical
+        // block `b % num_blocks` (same ctaid, same global thread ids).
+        let gx = launch.grid.0;
+        let logical_blocks = launch.num_blocks();
+        let total_blocks = logical_blocks * self.block_redundancy as u64;
+        let mut next_block: u64 = 0;
+        let assign_to = |sm: &mut Sm, next_block: &mut u64| {
+            while *next_block < total_blocks && sm.can_accept(wpb) {
+                let b = *next_block % logical_blocks;
+                let cta = ((b % gx as u64) as u32, (b / gx as u64) as u32);
+                sm.assign_block(b, cta, kernel, launch);
+                *next_block += 1;
+            }
+        };
+        // Initial distribution is round-robin — one block per SM per pass —
+        // matching real hardware's breadth-first block scheduler.
+        loop {
+            let mut placed = false;
+            for sm in &mut sms {
+                if next_block < total_blocks && sm.can_accept(wpb) {
+                    let b = next_block % logical_blocks;
+                    let cta = ((b % gx as u64) as u32, (b / gx as u64) as u32);
+                    sm.assign_block(b, cta, kernel, launch);
+                    next_block += 1;
+                    placed = true;
+                }
+            }
+            if !placed || next_block >= total_blocks {
+                break;
+            }
+        }
+
+        let watchdog = self.config.global_latency + 10_000;
+        let mut cycle: u64 = 0;
+        let mut last_progress: u64 = 0;
+        let mut finish: Vec<u64> = vec![0; sms.len()];
+        let mut done: Vec<bool> = vec![false; sms.len()];
+
+        loop {
+            let mut any_work = false;
+            for (i, sm) in sms.iter_mut().enumerate() {
+                if !sm.has_work() {
+                    if !done[i] && next_block >= total_blocks {
+                        let drain = observer.on_sm_done(i, cycle);
+                        finish[i] = cycle + drain;
+                        done[i] = true;
+                    }
+                    continue;
+                }
+                any_work = true;
+                let outcome = sm.step(cycle, kernel, launch, &mut self.global, observer)?;
+                if outcome != StepOutcome::Idle {
+                    last_progress = cycle;
+                }
+                if next_block < total_blocks {
+                    assign_to(sm, &mut next_block);
+                }
+            }
+            if !any_work && next_block >= total_blocks {
+                break;
+            }
+            cycle += 1;
+            if cycle.saturating_sub(last_progress) > watchdog {
+                return Err(SimError::Deadlock { cycle });
+            }
+        }
+        // Report completion for SMs that finished exactly at loop exit.
+        for (i, sm) in sms.iter().enumerate() {
+            if !done[i] {
+                debug_assert!(!sm.has_work());
+                let drain = observer.on_sm_done(i, cycle);
+                finish[i] = cycle + drain;
+            }
+        }
+
+        let mut stats = RunStats {
+            sm_cycles: finish.clone(),
+            cycles: finish.iter().copied().max().unwrap_or(0),
+            ..Default::default()
+        };
+        for sm in &sms {
+            stats.warp_instructions += sm.stats.warp_instructions;
+            stats.thread_instructions += sm.stats.thread_instructions;
+            stats.idle_cycles += sm.stats.idle_cycles;
+            stats.stall_cycles += sm.stats.stall_cycles;
+            for u in 0..3 {
+                stats.unit_instructions[u] += sm.stats.unit_instructions[u];
+                stats.unit_thread_instructions[u] += sm.stats.unit_thread_instructions[u];
+            }
+            stats.reg_reads += sm.stats.reg_reads;
+            stats.reg_writes += sm.stats.reg_writes;
+            stats.blocks += sm.stats.blocks;
+            stats.dual_issues += sm.stats.dual_issues;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NullObserver;
+    use warped_isa::{CmpOp, CmpType, KernelBuilder, SpecialReg};
+
+    fn saxpy_kernel() -> Kernel {
+        // y[i] = a*x[i] + y[i]
+        let mut b = KernelBuilder::new("saxpy");
+        let [tid, x, y, ax, addr_x, addr_y] = b.regs();
+        b.mov(tid, SpecialReg::GlobalTid);
+        b.iadd(addr_x, b.param(0), tid);
+        b.iadd(addr_y, b.param(1), tid);
+        b.ld_global(x, addr_x, 0);
+        b.ld_global(y, addr_y, 0);
+        b.fmul(ax, x, b.param(2));
+        b.fadd(y, ax, y);
+        b.st_global(addr_y, 0, y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn saxpy_multi_block_result() {
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let n = 256usize;
+        let xb = gpu.alloc_words(n);
+        let yb = gpu.alloc_words(n);
+        let xs: Vec<u32> = (0..n).map(|i| (i as f32).to_bits()).collect();
+        let ys: Vec<u32> = (0..n).map(|_| 1.0f32.to_bits()).collect();
+        gpu.write_words(xb, &xs);
+        gpu.write_words(yb, &ys);
+        let launch = LaunchConfig::linear(4, 64).with_params(vec![xb, yb, 2.0f32.to_bits()]);
+        let stats = gpu
+            .launch(&saxpy_kernel(), &launch, &mut NullObserver)
+            .unwrap();
+        assert_eq!(stats.blocks, 4);
+        assert!(stats.cycles > 0);
+        let out = gpu.read_words(yb, n);
+        for (i, w) in out.iter().enumerate() {
+            assert_eq!(f32::from_bits(*w), 2.0 * i as f32 + 1.0, "element {i}");
+        }
+    }
+
+    #[test]
+    fn more_blocks_than_resident_capacity() {
+        // 2 SMs × 8 blocks resident; 40 blocks must rotate through.
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let n = 40 * 32;
+        let buf = gpu.alloc_words(n);
+        let mut b = KernelBuilder::new("fill");
+        let [tid, addr] = b.regs();
+        b.mov(tid, SpecialReg::GlobalTid);
+        b.iadd(addr, b.param(0), tid);
+        b.st_global(addr, 0, tid);
+        let kernel = b.build().unwrap();
+        let launch = LaunchConfig::linear(40, 32).with_params(vec![buf]);
+        let stats = gpu.launch(&kernel, &launch, &mut NullObserver).unwrap();
+        assert_eq!(stats.blocks, 40);
+        let out = gpu.read_words(buf, n);
+        for (i, w) in out.iter().enumerate() {
+            assert_eq!(*w as usize, i);
+        }
+    }
+
+    #[test]
+    fn empty_launch_rejected() {
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut b = KernelBuilder::new("k");
+        let r = b.reg();
+        b.mov(r, 0u32);
+        let kernel = b.build().unwrap();
+        let err = gpu
+            .launch(&kernel, &LaunchConfig::linear(0, 32), &mut NullObserver)
+            .unwrap_err();
+        assert_eq!(err, SimError::EmptyLaunch);
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let mut b = KernelBuilder::new("k");
+        let r = b.reg();
+        b.mov(r, 0u32);
+        let kernel = b.build().unwrap();
+        let err = gpu
+            .launch(&kernel, &LaunchConfig::linear(1, 2048), &mut NullObserver)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::BlockTooLarge { warps: 64, max: 32 }
+        ));
+    }
+
+    #[test]
+    fn reduction_with_barriers_and_divergence() {
+        // Shared-memory tree reduction of 64 values per block.
+        let mut gpu = Gpu::new(GpuConfig::small());
+        let n = 64usize;
+        let inb = gpu.alloc_words(n);
+        let outb = gpu.alloc_words(1);
+        gpu.write_words(inb, &vec![1u32; n]);
+
+        let mut b = KernelBuilder::new("reduce");
+        let sh = b.alloc_shared(n);
+        let [tid, v, addr, s, p, t, sh_addr, sh_addr2] = b.regs();
+        b.mov(tid, SpecialReg::FlatTid);
+        b.iadd(addr, b.param(0), tid);
+        b.ld_global(v, addr, 0);
+        b.iadd(sh_addr, tid, sh as i32);
+        b.st_shared(sh_addr, 0, v);
+        b.bar();
+        b.mov(s, (n as u32) / 2);
+        b.while_loop(
+            |b| {
+                b.setp(CmpOp::Gt, CmpType::U32, p, s, 0u32);
+                p
+            },
+            |b| {
+                let q = b.reg();
+                b.setp(CmpOp::Lt, CmpType::U32, q, tid, s);
+                b.if_then(q, |b| {
+                    b.iadd(sh_addr2, sh_addr, s);
+                    b.ld_shared(t, sh_addr2, 0);
+                    let cur = b.reg();
+                    b.ld_shared(cur, sh_addr, 0);
+                    b.iadd(cur, cur, t);
+                    b.st_shared(sh_addr, 0, cur);
+                });
+                b.bar();
+                b.shr(s, s, 1u32);
+            },
+        );
+        let zero = b.reg();
+        b.setp(CmpOp::Eq, CmpType::U32, zero, tid, 0u32);
+        b.if_then(zero, |b| {
+            let r0 = b.reg();
+            b.ld_shared(r0, sh as i32 as u32, 0);
+            b.st_global(b.param(1), 0, r0);
+        });
+        let kernel = b.build().unwrap();
+
+        let launch = LaunchConfig::linear(1, n as u32).with_params(vec![inb, outb]);
+        gpu.launch(&kernel, &launch, &mut NullObserver).unwrap();
+        assert_eq!(gpu.read_words(outb, 1)[0], n as u32);
+    }
+}

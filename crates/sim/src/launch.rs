@@ -1,0 +1,274 @@
+//! Kernel launch configuration, run statistics, and simulation errors.
+
+use crate::config::{GpuConfig, WARP_SIZE};
+use std::error::Error;
+use std::fmt;
+use warped_isa::{Space, UnitType};
+
+/// Grid/block geometry and kernel parameters for one launch, mirroring
+/// CUDA's `<<<grid, block>>>(params...)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Grid dimensions (blocks), x and y.
+    pub grid: (u32, u32),
+    /// Block dimensions (threads), x and y.
+    pub block: (u32, u32),
+    /// Kernel parameters (word values: buffer bases, sizes, f32 bits),
+    /// read by [`Operand::Param`](warped_isa::Operand::Param).
+    pub params: Vec<u32>,
+}
+
+impl LaunchConfig {
+    /// A 1-D launch: `grid_x` blocks of `block_x` threads.
+    pub fn linear(grid_x: u32, block_x: u32) -> Self {
+        LaunchConfig {
+            grid: (grid_x, 1),
+            block: (block_x, 1),
+            params: Vec::new(),
+        }
+    }
+
+    /// A 2-D launch.
+    pub fn grid2d(grid: (u32, u32), block: (u32, u32)) -> Self {
+        LaunchConfig {
+            grid,
+            block,
+            params: Vec::new(),
+        }
+    }
+
+    /// Attach kernel parameters.
+    #[must_use]
+    pub fn with_params(mut self, params: Vec<u32>) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> usize {
+        self.block.0 as usize * self.block.1 as usize
+    }
+
+    /// Warps per block (threads rounded up to warp granularity).
+    pub fn warps_per_block(&self) -> usize {
+        self.threads_per_block().div_ceil(WARP_SIZE)
+    }
+
+    /// Total blocks in the grid.
+    pub fn num_blocks(&self) -> u64 {
+        self.grid.0 as u64 * self.grid.1 as u64
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> u64 {
+        self.num_blocks() * self.threads_per_block() as u64
+    }
+
+    /// A copy with the grid doubled in x (used by the R-Thread baseline,
+    /// which duplicates every thread block).
+    #[must_use]
+    pub fn with_doubled_grid(&self) -> Self {
+        LaunchConfig {
+            grid: (self.grid.0 * 2, self.grid.1),
+            ..self.clone()
+        }
+    }
+}
+
+/// Errors surfaced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A lane addressed memory outside its space.
+    MemOutOfBounds {
+        /// Which space was addressed.
+        space: Space,
+        /// The offending word address.
+        addr: u32,
+    },
+    /// The block needs more warps than an SM can host.
+    BlockTooLarge {
+        /// Warps the block requires.
+        warps: usize,
+        /// Warps an SM provides.
+        max: usize,
+    },
+    /// A launch with zero blocks or zero threads per block.
+    EmptyLaunch,
+    /// An instruction read a kernel parameter that was not supplied.
+    MissingParam {
+        /// The parameter index.
+        index: u8,
+    },
+    /// No instruction was issued for an implausibly long time — almost
+    /// always a barrier deadlock in the kernel under test.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+    },
+    /// A warp ran past the end of the kernel (defensive; validated kernels
+    /// cannot reach this).
+    PcOutOfRange {
+        /// The bad program counter value.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MemOutOfBounds { space, addr } => {
+                write!(f, "out-of-bounds {space} access at word {addr}")
+            }
+            SimError::BlockTooLarge { warps, max } => {
+                write!(f, "block needs {warps} warps but an SM hosts {max}")
+            }
+            SimError::EmptyLaunch => write!(f, "launch has no threads"),
+            SimError::MissingParam { index } => {
+                write!(f, "kernel read parameter {index} that was not supplied")
+            }
+            SimError::Deadlock { cycle } => {
+                write!(f, "no progress by cycle {cycle} (barrier deadlock?)")
+            }
+            SimError::PcOutOfRange { pc } => write!(f, "pc {pc} past end of kernel"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Aggregate statistics of one kernel execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Kernel latency in cycles: the cycle at which the last SM finished
+    /// (including observer-charged drain cycles).
+    pub cycles: u64,
+    /// Per-SM finish cycles.
+    pub sm_cycles: Vec<u64>,
+    /// Warp-instructions issued.
+    pub warp_instructions: u64,
+    /// Thread-instructions executed (sum of active lanes over all issues).
+    pub thread_instructions: u64,
+    /// Issue slots in which an SM with resident work issued nothing.
+    pub idle_cycles: u64,
+    /// Stall cycles charged by observers (DMR machinery).
+    pub stall_cycles: u64,
+    /// Warp-instructions per execution-unit type, indexed by
+    /// [`UnitType::index`].
+    pub unit_instructions: [u64; 3],
+    /// Thread-instructions per execution-unit type.
+    pub unit_thread_instructions: [u64; 3],
+    /// Register-file reads (thread granularity), for the power model.
+    pub reg_reads: u64,
+    /// Register-file writes (thread granularity), for the power model.
+    pub reg_writes: u64,
+    /// Blocks executed.
+    pub blocks: u64,
+    /// Cycles in which an SM's two schedulers both issued
+    /// (dual-issue mode only).
+    pub dual_issues: u64,
+}
+
+impl RunStats {
+    /// Kernel wall time in nanoseconds under `config`'s clock.
+    pub fn time_ns(&self, config: &GpuConfig) -> f64 {
+        self.cycles as f64 * config.clock_ns
+    }
+
+    /// Warp-instructions per cycle across the chip.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.warp_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of issued warp-instructions using `unit`.
+    pub fn unit_fraction(&self, unit: UnitType) -> f64 {
+        if self.warp_instructions == 0 {
+            0.0
+        } else {
+            self.unit_instructions[unit.index()] as f64 / self.warp_instructions as f64
+        }
+    }
+
+    /// Mean active lanes per issued warp-instruction (SIMT efficiency × 32).
+    pub fn mean_active_lanes(&self) -> f64 {
+        if self.warp_instructions == 0 {
+            0.0
+        } else {
+            self.thread_instructions as f64 / self.warp_instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_launch_geometry() {
+        let l = LaunchConfig::linear(10, 256);
+        assert_eq!(l.threads_per_block(), 256);
+        assert_eq!(l.warps_per_block(), 8);
+        assert_eq!(l.num_blocks(), 10);
+        assert_eq!(l.total_threads(), 2560);
+    }
+
+    #[test]
+    fn grid2d_and_partial_warp() {
+        let l = LaunchConfig::grid2d((5, 4), (16, 3));
+        assert_eq!(l.threads_per_block(), 48);
+        assert_eq!(l.warps_per_block(), 2); // 48 threads -> 1.5 warps -> 2
+        assert_eq!(l.num_blocks(), 20);
+    }
+
+    #[test]
+    fn doubled_grid_for_rthread() {
+        let l = LaunchConfig::linear(7, 64).with_params(vec![1, 2]);
+        let d = l.with_doubled_grid();
+        assert_eq!(d.grid, (14, 1));
+        assert_eq!(d.params, vec![1, 2]);
+    }
+
+    #[test]
+    fn stats_derivations() {
+        let s = RunStats {
+            cycles: 100,
+            warp_instructions: 50,
+            thread_instructions: 800,
+            unit_instructions: [40, 5, 5],
+            ..Default::default()
+        };
+        assert_eq!(s.ipc(), 0.5);
+        assert_eq!(s.mean_active_lanes(), 16.0);
+        assert!((s.unit_fraction(UnitType::Sp) - 0.8).abs() < 1e-12);
+        let cfg = GpuConfig::default();
+        assert_eq!(s.time_ns(&cfg), 125.0);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mean_active_lanes(), 0.0);
+        assert_eq!(s.unit_fraction(UnitType::Sfu), 0.0);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        for e in [
+            SimError::MemOutOfBounds {
+                space: Space::Global,
+                addr: 3,
+            },
+            SimError::BlockTooLarge { warps: 40, max: 32 },
+            SimError::EmptyLaunch,
+            SimError::MissingParam { index: 2 },
+            SimError::Deadlock { cycle: 9 },
+            SimError::PcOutOfRange { pc: 1 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

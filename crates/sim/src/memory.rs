@@ -1,0 +1,249 @@
+//! Word-addressed memories.
+//!
+//! Both memory spaces are assumed ECC-protected (paper §1: "Memory is
+//! assumed to be protected by ECC... the loaded data is always error
+//! free"), so Warped-DMR verifies only the *address computation* of memory
+//! instructions. Latency is a fixed per-space constant from
+//! [`GpuConfig`](crate::GpuConfig).
+
+use crate::launch::SimError;
+use warped_isa::Space;
+
+/// Device-global memory: a flat array of 32-bit words with a bump
+/// allocator for buffer placement.
+#[derive(Debug, Clone)]
+pub struct GlobalMemory {
+    words: Vec<u32>,
+    next_free: usize,
+}
+
+impl GlobalMemory {
+    /// Create a zeroed global memory of `words` 32-bit words.
+    pub fn new(words: usize) -> Self {
+        GlobalMemory {
+            words: vec![0; words],
+            next_free: 0,
+        }
+    }
+
+    /// Reserve `len` words, returning the base word address.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the memory is exhausted (configuration error, not a
+    /// simulated fault).
+    pub fn alloc(&mut self, len: usize) -> u32 {
+        assert!(
+            self.next_free + len <= self.words.len(),
+            "global memory exhausted: {} + {} > {}",
+            self.next_free,
+            len,
+            self.words.len()
+        );
+        let base = self.next_free as u32;
+        self.next_free += len;
+        base
+    }
+
+    /// Read one word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] when `addr` is past the end.
+    pub fn read(&self, addr: u32) -> Result<u32, SimError> {
+        self.words
+            .get(addr as usize)
+            .copied()
+            .ok_or(SimError::MemOutOfBounds {
+                space: Space::Global,
+                addr,
+            })
+    }
+
+    /// Write one word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] when `addr` is past the end.
+    pub fn write(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        match self.words.get_mut(addr as usize) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(SimError::MemOutOfBounds {
+                space: Space::Global,
+                addr,
+            }),
+        }
+    }
+
+    /// Bulk host → device copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target range is out of bounds (host-side bug).
+    pub fn write_slice(&mut self, base: u32, data: &[u32]) {
+        let b = base as usize;
+        self.words[b..b + data.len()].copy_from_slice(data);
+    }
+
+    /// Bulk device → host copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source range is out of bounds (host-side bug).
+    pub fn read_slice(&self, base: u32, len: usize) -> Vec<u32> {
+        let b = base as usize;
+        self.words[b..b + len].to_vec()
+    }
+
+    /// Total capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Words currently allocated.
+    pub fn allocated(&self) -> usize {
+        self.next_free
+    }
+
+    /// Release all allocations and zero memory (between experiments).
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+        self.next_free = 0;
+    }
+}
+
+/// Per-block shared memory (scratchpad).
+#[derive(Debug, Clone)]
+pub struct SharedMemory {
+    words: Vec<u32>,
+}
+
+impl SharedMemory {
+    /// Create a zeroed shared memory of `words` words (the kernel's
+    /// declared requirement).
+    pub fn new(words: usize) -> Self {
+        SharedMemory {
+            words: vec![0; words],
+        }
+    }
+
+    /// Read one word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] when `addr` is past the block's
+    /// shared allocation.
+    pub fn read(&self, addr: u32) -> Result<u32, SimError> {
+        self.words
+            .get(addr as usize)
+            .copied()
+            .ok_or(SimError::MemOutOfBounds {
+                space: Space::Shared,
+                addr,
+            })
+    }
+
+    /// Write one word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] when `addr` is past the block's
+    /// shared allocation.
+    pub fn write(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        match self.words.get_mut(addr as usize) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(SimError::MemOutOfBounds {
+                space: Space::Shared,
+                addr,
+            }),
+        }
+    }
+
+    /// Size in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the block declared no shared memory.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_bump_and_disjoint() {
+        let mut m = GlobalMemory::new(100);
+        let a = m.alloc(10);
+        let b = m.alloc(20);
+        assert_eq!(a, 0);
+        assert_eq!(b, 10);
+        assert_eq!(m.allocated(), 30);
+        assert_eq!(m.capacity(), 100);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = GlobalMemory::new(8);
+        m.write(3, 42).unwrap();
+        assert_eq!(m.read(3).unwrap(), 42);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut m = GlobalMemory::new(4);
+        assert!(matches!(
+            m.read(4),
+            Err(SimError::MemOutOfBounds {
+                space: Space::Global,
+                addr: 4
+            })
+        ));
+        assert!(m.write(9, 0).is_err());
+    }
+
+    #[test]
+    fn slices_copy_data() {
+        let mut m = GlobalMemory::new(16);
+        let base = m.alloc(4);
+        m.write_slice(base, &[1, 2, 3, 4]);
+        assert_eq!(m.read_slice(base, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = GlobalMemory::new(8);
+        let b = m.alloc(2);
+        m.write(b, 9).unwrap();
+        m.reset();
+        assert_eq!(m.allocated(), 0);
+        assert_eq!(m.read(b).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "global memory exhausted")]
+    fn over_allocation_panics() {
+        let mut m = GlobalMemory::new(4);
+        m.alloc(5);
+    }
+
+    #[test]
+    fn shared_memory_bounds() {
+        let mut s = SharedMemory::new(2);
+        s.write(1, 5).unwrap();
+        assert_eq!(s.read(1).unwrap(), 5);
+        assert!(s.read(2).is_err());
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(SharedMemory::new(0).is_empty());
+    }
+}

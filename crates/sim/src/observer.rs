@@ -1,0 +1,227 @@
+//! The issue-stream observation interface.
+//!
+//! Everything that *watches* or *interferes with* execution — Warped-DMR's
+//! Replay Checker, the DMTR baseline, and all statistics collectors —
+//! implements [`IssueObserver`]. The simulator reports every issue slot of
+//! every SM (including idle slots) and adds whatever stall cycles the
+//! observer charges, which is how the ReplayQ-full and RAW-on-unverified
+//! stalls of paper Algorithm 1 feed back into the timing model.
+
+use crate::config::WARP_SIZE;
+use warped_isa::{Instruction, Pc, UnitType};
+
+/// Everything an observer sees about one issued warp-instruction.
+#[derive(Debug)]
+pub struct IssueInfo<'a> {
+    /// SM-local cycle at which the instruction issued.
+    pub cycle: u64,
+    /// Which SM issued it.
+    pub sm_id: usize,
+    /// Warp slot within the SM (stable while the warp is resident).
+    pub warp_slot: usize,
+    /// Globally unique warp id (across blocks), for per-warp tracking.
+    pub warp_uid: u64,
+    /// Global block index.
+    pub block: u64,
+    /// Program counter of the instruction.
+    pub pc: Pc,
+    /// The instruction itself.
+    pub instr: &'a Instruction,
+    /// Execution unit it occupies.
+    pub unit: UnitType,
+    /// Active mask (bit per lane; logical thread order).
+    pub active_mask: u32,
+    /// Per-lane computed result: the ALU/SFU output, the evaluated
+    /// predicate for branches, or the computed word address for memory
+    /// operations (the part of a LD/ST that Warped-DMR verifies).
+    /// Entries for inactive lanes are unspecified.
+    pub results: &'a [u32; WARP_SIZE],
+    /// Whether [`IssueInfo::results`] carries meaningful values
+    /// (false only for `jump`/`bar`/`exit`).
+    pub has_result: bool,
+    /// Per source operand: issue-to-issue RAW distance in cycles from the
+    /// producing instruction, aligned with
+    /// [`Instruction::src_regs`]. `None` when the operand is not a
+    /// register or was never written.
+    pub raw_dists: [Option<u64>; 4],
+}
+
+impl IssueInfo<'_> {
+    /// Number of active lanes.
+    pub fn active_count(&self) -> u32 {
+        self.active_mask.count_ones()
+    }
+
+    /// Whether every lane of the warp is active (the case that needs
+    /// inter-warp DMR).
+    pub fn is_full(&self) -> bool {
+        self.active_mask == u32::MAX
+    }
+}
+
+/// Observer of the per-SM issue stream. All methods have no-op defaults.
+///
+/// Stall contract: cycles returned from [`IssueObserver::on_issue`] freeze
+/// that SM's issue for that many subsequent cycles (the pipeline holds);
+/// cycles returned from [`IssueObserver::on_sm_done`] extend the SM's
+/// completion time (e.g. draining unverified ReplayQ entries).
+pub trait IssueObserver {
+    /// Called for each issued warp-instruction. Returns extra stall cycles
+    /// to charge the issuing SM.
+    fn on_issue(&mut self, info: &IssueInfo<'_>) -> u64 {
+        let _ = info;
+        0
+    }
+
+    /// Called when an SM with resident work issues nothing this cycle.
+    fn on_idle(&mut self, sm_id: usize, cycle: u64) {
+        let _ = (sm_id, cycle);
+    }
+
+    /// Called once per SM when it runs out of work. Returns extra cycles
+    /// appended to the SM's finish time.
+    fn on_sm_done(&mut self, sm_id: usize, cycle: u64) -> u64 {
+        let _ = (sm_id, cycle);
+        0
+    }
+}
+
+/// An observer that does nothing (plain, unprotected execution).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl IssueObserver for NullObserver {}
+
+/// Fans one issue stream out to several observers, summing their stalls.
+///
+/// Used to combine a DMR engine with statistics collectors in one run.
+#[derive(Default)]
+pub struct MultiObserver<'a> {
+    parts: Vec<&'a mut dyn IssueObserver>,
+}
+
+impl std::fmt::Debug for MultiObserver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MultiObserver({} parts)", self.parts.len())
+    }
+}
+
+impl<'a> MultiObserver<'a> {
+    /// Create an empty fan-out.
+    pub fn new() -> Self {
+        MultiObserver { parts: Vec::new() }
+    }
+
+    /// Add an observer.
+    pub fn push(&mut self, obs: &'a mut dyn IssueObserver) -> &mut Self {
+        self.parts.push(obs);
+        self
+    }
+}
+
+impl IssueObserver for MultiObserver<'_> {
+    fn on_issue(&mut self, info: &IssueInfo<'_>) -> u64 {
+        self.parts.iter_mut().map(|p| p.on_issue(info)).sum()
+    }
+
+    fn on_idle(&mut self, sm_id: usize, cycle: u64) {
+        for p in &mut self.parts {
+            p.on_idle(sm_id, cycle);
+        }
+    }
+
+    fn on_sm_done(&mut self, sm_id: usize, cycle: u64) -> u64 {
+        self.parts
+            .iter_mut()
+            .map(|p| p.on_sm_done(sm_id, cycle))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_isa::Instruction;
+
+    struct CountingObserver {
+        issues: u64,
+        idles: u64,
+        stall_per_issue: u64,
+    }
+
+    impl IssueObserver for CountingObserver {
+        fn on_issue(&mut self, _info: &IssueInfo<'_>) -> u64 {
+            self.issues += 1;
+            self.stall_per_issue
+        }
+        fn on_idle(&mut self, _sm: usize, _cycle: u64) {
+            self.idles += 1;
+        }
+        fn on_sm_done(&mut self, _sm: usize, _cycle: u64) -> u64 {
+            7
+        }
+    }
+
+    fn dummy_info<'a>(instr: &'a Instruction, results: &'a [u32; WARP_SIZE]) -> IssueInfo<'a> {
+        IssueInfo {
+            cycle: 1,
+            sm_id: 0,
+            warp_slot: 0,
+            warp_uid: 0,
+            block: 0,
+            pc: Pc(0),
+            instr,
+            unit: instr.unit(),
+            active_mask: 0x0000_00ff,
+            results,
+            has_result: false,
+            raw_dists: [None; 4],
+        }
+    }
+
+    #[test]
+    fn info_helpers() {
+        let instr = Instruction::Bar;
+        let results = [0u32; WARP_SIZE];
+        let info = dummy_info(&instr, &results);
+        assert_eq!(info.active_count(), 8);
+        assert!(!info.is_full());
+    }
+
+    #[test]
+    fn multi_observer_sums_stalls() {
+        let mut a = CountingObserver {
+            issues: 0,
+            idles: 0,
+            stall_per_issue: 2,
+        };
+        let mut c = CountingObserver {
+            issues: 0,
+            idles: 0,
+            stall_per_issue: 3,
+        };
+        let mut m = MultiObserver::new();
+        m.push(&mut a).push(&mut c);
+
+        let instr = Instruction::Bar;
+        let results = [0u32; WARP_SIZE];
+        let info = dummy_info(&instr, &results);
+        assert_eq!(m.on_issue(&info), 5);
+        m.on_idle(0, 9);
+        assert_eq!(m.on_sm_done(0, 10), 14);
+        drop(m);
+        assert_eq!(a.issues, 1);
+        assert_eq!(a.idles, 1);
+        assert_eq!(c.issues, 1);
+    }
+
+    #[test]
+    fn null_observer_charges_nothing() {
+        let instr = Instruction::Bar;
+        let results = [0u32; WARP_SIZE];
+        let info = dummy_info(&instr, &results);
+        let mut n = NullObserver;
+        assert_eq!(n.on_issue(&info), 0);
+        assert_eq!(n.on_sm_done(0, 0), 0);
+    }
+}

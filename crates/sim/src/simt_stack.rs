@@ -1,0 +1,255 @@
+//! PDOM-style SIMT reconvergence stack.
+//!
+//! Each warp carries one [`SimtStack`]. The top entry holds the warp's
+//! current PC and active mask. On a divergent branch the current entry is
+//! retargeted to the reconvergence point (the branch's immediate
+//! post-dominator, recorded by the kernel builder) and one entry per taken
+//! path is pushed. A side entry whose PC reaches its reconvergence point is
+//! popped, which merges its threads back into the continuation below.
+
+use warped_isa::Pc;
+
+/// One stack entry: a set of threads executing at a PC, due to merge at
+/// `reconv`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimtEntry {
+    /// Threads owned by this entry (bit per lane).
+    pub mask: u32,
+    /// Current program counter of these threads.
+    pub pc: Pc,
+    /// PC where this entry merges into the one below
+    /// ([`Pc::INVALID`] for the root entry).
+    pub reconv: Pc,
+}
+
+/// The reconvergence stack of one warp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimtStack {
+    entries: Vec<SimtEntry>,
+}
+
+impl SimtStack {
+    /// Create a stack with a root entry of `mask` threads starting at pc 0.
+    pub fn new(mask: u32) -> Self {
+        SimtStack {
+            entries: vec![SimtEntry {
+                mask,
+                pc: Pc(0),
+                reconv: Pc::INVALID,
+            }],
+        }
+    }
+
+    /// Whether every thread has exited.
+    pub fn is_done(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current PC and active mask (the top entry), or `None` when done.
+    ///
+    /// Entries that already sit at their reconvergence point are merged
+    /// before reading, so the returned entry is always executable.
+    pub fn top(&mut self) -> Option<(Pc, u32)> {
+        self.merge_converged();
+        self.entries.last().map(|e| (e.pc, e.mask))
+    }
+
+    /// Advance the top entry to the next sequential instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warp is done.
+    pub fn advance(&mut self) {
+        let e = self.entries.last_mut().expect("advance on finished warp");
+        e.pc = e.pc.next();
+    }
+
+    /// Redirect the top entry to `target` (uniform jump).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warp is done.
+    pub fn jump(&mut self, target: Pc) {
+        let e = self.entries.last_mut().expect("jump on finished warp");
+        e.pc = target;
+    }
+
+    /// Execute a (possibly divergent) branch at the top entry.
+    ///
+    /// `taken_mask` is the subset of the top entry's mask whose predicate
+    /// selected `target`; the rest falls through to the next instruction.
+    /// On divergence the continuation is retargeted at `reconv` and the two
+    /// sides are pushed (fall-through executes first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warp is done or `taken_mask` contains threads outside
+    /// the current mask.
+    pub fn branch(&mut self, taken_mask: u32, target: Pc, reconv: Pc) {
+        let e = self.entries.last_mut().expect("branch on finished warp");
+        assert_eq!(
+            taken_mask & !e.mask,
+            0,
+            "taken mask must be a subset of the active mask"
+        );
+        let fall_mask = e.mask & !taken_mask;
+        if fall_mask == 0 {
+            // Uniformly taken.
+            e.pc = target;
+        } else if taken_mask == 0 {
+            // Uniformly not taken.
+            e.pc = e.pc.next();
+        } else {
+            // Divergence: current entry becomes the continuation at the
+            // reconvergence point; push the two sides.
+            let next = e.pc.next();
+            e.pc = reconv;
+            self.entries.push(SimtEntry {
+                mask: taken_mask,
+                pc: target,
+                reconv,
+            });
+            self.entries.push(SimtEntry {
+                mask: fall_mask,
+                pc: next,
+                reconv,
+            });
+        }
+    }
+
+    /// Retire the top entry's threads (they executed `exit`).
+    ///
+    /// The exiting threads are removed from **every** entry; emptied
+    /// entries are dropped.
+    pub fn exit(&mut self, exiting: u32) {
+        for e in &mut self.entries {
+            e.mask &= !exiting;
+        }
+        self.entries.retain(|e| e.mask != 0);
+    }
+
+    /// Current stack depth (diagnostics).
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn merge_converged(&mut self) {
+        while let Some(e) = self.entries.last() {
+            if e.pc == e.reconv {
+                self.entries.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: u32 = 0xffff_ffff;
+
+    #[test]
+    fn fresh_stack_starts_at_zero() {
+        let mut s = SimtStack::new(FULL);
+        assert_eq!(s.top(), Some((Pc(0), FULL)));
+        assert!(!s.is_done());
+    }
+
+    #[test]
+    fn advance_moves_sequentially() {
+        let mut s = SimtStack::new(FULL);
+        s.advance();
+        assert_eq!(s.top(), Some((Pc(1), FULL)));
+    }
+
+    #[test]
+    fn uniform_branches_do_not_push() {
+        let mut s = SimtStack::new(FULL);
+        s.branch(FULL, Pc(10), Pc(20));
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.top(), Some((Pc(10), FULL)));
+
+        s.branch(0, Pc(5), Pc(20));
+        assert_eq!(s.top(), Some((Pc(11), FULL)));
+    }
+
+    #[test]
+    fn divergent_branch_executes_both_paths_then_reconverges() {
+        let mut s = SimtStack::new(0b1111);
+        // At pc 0: lanes 0,1 take the branch to 10; lanes 2,3 fall through.
+        s.branch(0b0011, Pc(10), Pc(20));
+        // Fall-through side first.
+        assert_eq!(s.top(), Some((Pc(1), 0b1100)));
+        s.jump(Pc(20)); // fall-through side reaches reconvergence
+                        // Taken side next.
+        assert_eq!(s.top(), Some((Pc(10), 0b0011)));
+        s.jump(Pc(20));
+        // Reconverged: full mask at 20.
+        assert_eq!(s.top(), Some((Pc(20), 0b1111)));
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn nested_divergence() {
+        let mut s = SimtStack::new(0b1111);
+        s.branch(0b0011, Pc(10), Pc(30)); // outer
+        assert_eq!(s.top(), Some((Pc(1), 0b1100)));
+        // Inner divergence on the fall-through side.
+        s.branch(0b0100, Pc(5), Pc(8));
+        assert_eq!(s.top(), Some((Pc(2), 0b1000)));
+        s.jump(Pc(8));
+        assert_eq!(s.top(), Some((Pc(5), 0b0100)));
+        s.jump(Pc(8));
+        // Inner reconverged.
+        assert_eq!(s.top(), Some((Pc(8), 0b1100)));
+        s.jump(Pc(30));
+        // Outer taken side.
+        assert_eq!(s.top(), Some((Pc(10), 0b0011)));
+        s.jump(Pc(30));
+        assert_eq!(s.top(), Some((Pc(30), 0b1111)));
+    }
+
+    #[test]
+    fn loop_with_divergent_exit_terminates() {
+        // Model: while (lane-dependent) { body } — threads leave one by one.
+        let mut s = SimtStack::new(0b11);
+        // Iteration 1: lane 0 exits the loop (branch to 9 = reconv), lane 1 continues.
+        s.branch(0b01, Pc(9), Pc(9));
+        assert_eq!(s.top(), Some((Pc(1), 0b10)));
+        s.jump(Pc(0)); // back edge
+                       // Iteration 2: lane 1 also exits.
+        s.branch(0b10, Pc(9), Pc(9));
+        // All converged at 9 with the full mask.
+        assert_eq!(s.top(), Some((Pc(9), 0b11)));
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn exit_removes_threads_everywhere() {
+        let mut s = SimtStack::new(0b1111);
+        s.branch(0b0011, Pc(10), Pc(20));
+        // Fall-through side (lanes 2,3) exits the kernel entirely.
+        s.exit(0b1100);
+        // Taken side continues.
+        assert_eq!(s.top(), Some((Pc(10), 0b0011)));
+        s.exit(0b0011);
+        assert!(s.is_done());
+        assert_eq!(s.top(), None);
+    }
+
+    #[test]
+    fn partial_exit_keeps_remaining_lanes() {
+        let mut s = SimtStack::new(0b1111);
+        s.exit(0b0101);
+        assert_eq!(s.top(), Some((Pc(0), 0b1010)));
+    }
+
+    #[test]
+    #[should_panic(expected = "subset of the active mask")]
+    fn branch_outside_mask_panics() {
+        let mut s = SimtStack::new(0b0001);
+        s.branch(0b0010, Pc(1), Pc(2));
+    }
+}

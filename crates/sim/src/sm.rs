@@ -1,0 +1,795 @@
+//! The streaming multiprocessor: issue loop, functional execution, and
+//! timing.
+//!
+//! One SM issues at most one warp-instruction per cycle, selected by a
+//! loose round-robin scheduler over resident warps whose scoreboard allows
+//! issue. Execution units are super-pipelined: issue to the same unit on
+//! back-to-back cycles is legal; dependent instructions wait on the
+//! scoreboard (RF latency + unit latency).
+
+use crate::config::{GpuConfig, WARP_SIZE};
+use crate::functional::{eval_bin, eval_cmp, eval_ffma, eval_imad, eval_sel, eval_sfu, eval_un};
+use crate::launch::{LaunchConfig, SimError};
+use crate::memory::{GlobalMemory, SharedMemory};
+use crate::observer::{IssueInfo, IssueObserver};
+use crate::warp::Warp;
+use warped_isa::{Instruction, Kernel, Operand, Space, SpecialReg, UnitType};
+
+/// A block resident on an SM.
+#[derive(Debug)]
+pub struct BlockState {
+    /// Global block index across the grid (row-major).
+    pub global_index: u64,
+    /// Block coordinates within the grid.
+    pub cta: (u32, u32),
+    /// The block's shared memory.
+    pub shared: SharedMemory,
+    /// Warps of this block that have not finished.
+    pub live_warps: usize,
+    /// Warp-slot indices occupied by this block.
+    pub warp_slots: Vec<usize>,
+}
+
+/// Per-SM statistics, summed by the GPU into
+/// [`RunStats`](crate::launch::RunStats).
+#[derive(Debug, Clone, Default)]
+pub struct SmStats {
+    /// Warp-instructions issued.
+    pub warp_instructions: u64,
+    /// Active-lane executions.
+    pub thread_instructions: u64,
+    /// Cycles with resident work but no issue.
+    pub idle_cycles: u64,
+    /// Observer-charged stall cycles.
+    pub stall_cycles: u64,
+    /// Issues per unit type.
+    pub unit_instructions: [u64; 3],
+    /// Active-lane executions per unit type.
+    pub unit_thread_instructions: [u64; 3],
+    /// Register reads (thread granularity).
+    pub reg_reads: u64,
+    /// Register writes (thread granularity).
+    pub reg_writes: u64,
+    /// Blocks completed.
+    pub blocks: u64,
+    /// Cycles in which both schedulers issued (dual-issue mode).
+    pub dual_issues: u64,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    /// SM index on the chip.
+    pub id: usize,
+    config: GpuConfig,
+    warp_slots: Vec<Option<Warp>>,
+    block_slots: Vec<Option<BlockState>>,
+    rr_next: usize,
+    stall_cycles_left: u64,
+    /// Statistics accumulated so far.
+    pub stats: SmStats,
+}
+
+/// Outcome of one SM cycle, for the GPU's progress watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A warp-instruction issued.
+    Issued,
+    /// The pipeline is frozen by an observer-charged stall.
+    Stalled,
+    /// Nothing could issue (scoreboard/barrier/latency).
+    Idle,
+}
+
+impl Sm {
+    /// Create an empty SM.
+    pub fn new(id: usize, config: GpuConfig) -> Self {
+        let warps = config.max_warps_per_sm;
+        let blocks = config.max_blocks_per_sm;
+        Sm {
+            id,
+            config,
+            warp_slots: (0..warps).map(|_| None).collect(),
+            block_slots: (0..blocks).map(|_| None).collect(),
+            rr_next: 0,
+            stall_cycles_left: 0,
+            stats: SmStats::default(),
+        }
+    }
+
+    /// Whether any block is resident.
+    pub fn has_work(&self) -> bool {
+        self.block_slots.iter().any(Option::is_some)
+    }
+
+    /// Whether a block needing `warps` warp slots can be accepted now.
+    pub fn can_accept(&self, warps: usize) -> bool {
+        self.block_slots.iter().any(Option::is_none)
+            && self.warp_slots.iter().filter(|w| w.is_none()).count() >= warps
+    }
+
+    /// Make a block resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Sm::can_accept`] would return false (the GPU checks
+    /// first).
+    pub fn assign_block(
+        &mut self,
+        global_index: u64,
+        cta: (u32, u32),
+        kernel: &Kernel,
+        launch: &LaunchConfig,
+    ) {
+        let wpb = launch.warps_per_block();
+        let threads = launch.threads_per_block() as u32;
+        let bslot = self
+            .block_slots
+            .iter()
+            .position(Option::is_none)
+            .expect("no free block slot");
+        let free: Vec<usize> = self
+            .warp_slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.is_none().then_some(i))
+            .take(wpb)
+            .collect();
+        assert_eq!(free.len(), wpb, "not enough free warp slots");
+        for (w, &slot) in free.iter().enumerate() {
+            let uid = global_index * wpb as u64 + w as u64;
+            self.warp_slots[slot] = Some(Warp::new(uid, bslot, w, threads, kernel.num_regs()));
+        }
+        self.block_slots[bslot] = Some(BlockState {
+            global_index,
+            cta,
+            shared: SharedMemory::new(kernel.shared_words()),
+            live_warps: wpb,
+            warp_slots: free,
+        });
+    }
+
+    /// Advance one cycle: release barriers, then try to issue one
+    /// warp-instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-execution errors (out-of-bounds memory,
+    /// missing parameters).
+    pub fn step(
+        &mut self,
+        cycle: u64,
+        kernel: &Kernel,
+        launch: &LaunchConfig,
+        global: &mut GlobalMemory,
+        observer: &mut dyn IssueObserver,
+    ) -> Result<StepOutcome, SimError> {
+        if self.stall_cycles_left > 0 {
+            self.stall_cycles_left -= 1;
+            self.stats.stall_cycles += 1;
+            return Ok(StepOutcome::Stalled);
+        }
+        self.release_barriers();
+
+        // Fermi dual scheduling (paper §2.2): two issues per cycle from
+        // distinct warps; each scheduler owns its own SPs but the LD/ST
+        // units and SFUs are shared, so two LD/ST (or two SFU)
+        // instructions can never co-issue.
+        let width = if self.config.dual_issue { 2 } else { 1 };
+        let mut issued = 0usize;
+        let mut first_pick: Option<(usize, UnitType)> = None;
+        let mut total_stalls = 0u64;
+
+        let n = self.warp_slots.len();
+        while issued < width {
+            let mut picked = None;
+            for i in 0..n {
+                let idx = (self.rr_next + i) % n;
+                if first_pick.is_some_and(|(fidx, _)| fidx == idx) {
+                    continue;
+                }
+                let Some(warp) = self.warp_slots[idx].as_mut() else {
+                    continue;
+                };
+                if warp.at_barrier {
+                    continue;
+                }
+                let Some((pc, mask)) = warp.stack.top() else {
+                    continue;
+                };
+                let Some(instr) = kernel.fetch(pc) else {
+                    return Err(SimError::PcOutOfRange { pc: pc.0 });
+                };
+                let unit = instr.unit();
+                // Shared-unit structural hazard for the second issue.
+                if let Some((_, first_unit)) = first_pick {
+                    if unit != UnitType::Sp && unit == first_unit {
+                        continue;
+                    }
+                }
+                if !warp.scoreboard_ready(instr, cycle) {
+                    continue;
+                }
+                picked = Some((idx, pc, mask, *instr, unit));
+                break;
+            }
+            let Some((idx, pc, mask, instr, unit)) = picked else {
+                break;
+            };
+            if issued == 0 {
+                self.rr_next = match self.config.scheduler {
+                    // GTO-style: keep issuing from the same warp until it
+                    // cannot issue. Matches real warp schedulers and
+                    // interleaves unit types at the SM level.
+                    crate::config::SchedulerPolicy::GreedyThenOldest => idx,
+                    // Fair rotation: all warps march in near lock step.
+                    crate::config::SchedulerPolicy::LooseRoundRobin => (idx + 1) % n,
+                };
+                first_pick = Some((idx, unit));
+            }
+            total_stalls += self.issue(idx, mask, &instr, pc, cycle, launch, global, observer)?;
+            issued += 1;
+        }
+        if issued > 0 {
+            if issued == 2 {
+                self.stats.dual_issues += 1;
+            }
+            self.stall_cycles_left = total_stalls;
+            return Ok(StepOutcome::Issued);
+        }
+        observer.on_idle(self.id, cycle);
+        self.stats.idle_cycles += 1;
+        Ok(StepOutcome::Idle)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue(
+        &mut self,
+        widx: usize,
+        mask: u32,
+        instr: &Instruction,
+        pc: warped_isa::Pc,
+        cycle: u64,
+        launch: &LaunchConfig,
+        global: &mut GlobalMemory,
+        observer: &mut dyn IssueObserver,
+    ) -> Result<u64, SimError> {
+        let mut warp = self.warp_slots[widx].take().expect("issuing empty slot");
+        let bslot = warp.block_slot;
+        let mut results = [0u32; WARP_SIZE];
+        let mut has_result = true;
+
+        let mut raw_dists = [None; 4];
+        for (k, src) in instr.src_regs().iter().enumerate() {
+            if let Some(r) = src {
+                raw_dists[k] = warp.raw_distance(*r, cycle);
+            }
+        }
+
+        // Writeback bookkeeping collected during execution.
+        let mut writeback: Option<(warped_isa::Reg, u64)> = None;
+
+        {
+            let block = self.block_slots[bslot]
+                .as_mut()
+                .expect("warp's block missing");
+            let exe_latency = |unit: UnitType, space: Option<Space>| -> u64 {
+                match (unit, space) {
+                    (UnitType::Sp, _) => self.config.sp_latency,
+                    (UnitType::Sfu, _) => self.config.sfu_latency,
+                    (UnitType::LdSt, Some(Space::Shared)) => self.config.shared_latency,
+                    (UnitType::LdSt, _) => self.config.global_latency,
+                }
+            };
+
+            match *instr {
+                Instruction::Bin { op, dst, a, b } => {
+                    for lane in lanes(mask) {
+                        let av = operand(&warp, block, launch, lane, a)?;
+                        let bv = operand(&warp, block, launch, lane, b)?;
+                        results[lane] = eval_bin(op, av, bv);
+                    }
+                    write_lanes(&mut warp, mask, dst, &results);
+                    writeback = Some((
+                        dst,
+                        cycle
+                            + self
+                                .config
+                                .writeback_latency(exe_latency(UnitType::Sp, None)),
+                    ));
+                    warp.stack.advance();
+                }
+                Instruction::Un { op, dst, a } => {
+                    for lane in lanes(mask) {
+                        let av = operand(&warp, block, launch, lane, a)?;
+                        results[lane] = eval_un(op, av);
+                    }
+                    write_lanes(&mut warp, mask, dst, &results);
+                    writeback = Some((
+                        dst,
+                        cycle
+                            + self
+                                .config
+                                .writeback_latency(exe_latency(UnitType::Sp, None)),
+                    ));
+                    warp.stack.advance();
+                }
+                Instruction::IMad { dst, a, b, c } => {
+                    for lane in lanes(mask) {
+                        let av = operand(&warp, block, launch, lane, a)?;
+                        let bv = operand(&warp, block, launch, lane, b)?;
+                        let cv = operand(&warp, block, launch, lane, c)?;
+                        results[lane] = eval_imad(av, bv, cv);
+                    }
+                    write_lanes(&mut warp, mask, dst, &results);
+                    writeback = Some((
+                        dst,
+                        cycle
+                            + self
+                                .config
+                                .writeback_latency(exe_latency(UnitType::Sp, None)),
+                    ));
+                    warp.stack.advance();
+                }
+                Instruction::FFma { dst, a, b, c } => {
+                    for lane in lanes(mask) {
+                        let av = operand(&warp, block, launch, lane, a)?;
+                        let bv = operand(&warp, block, launch, lane, b)?;
+                        let cv = operand(&warp, block, launch, lane, c)?;
+                        results[lane] = eval_ffma(av, bv, cv);
+                    }
+                    write_lanes(&mut warp, mask, dst, &results);
+                    writeback = Some((
+                        dst,
+                        cycle
+                            + self
+                                .config
+                                .writeback_latency(exe_latency(UnitType::Sp, None)),
+                    ));
+                    warp.stack.advance();
+                }
+                Instruction::Setp { cmp, ty, dst, a, b } => {
+                    for lane in lanes(mask) {
+                        let av = operand(&warp, block, launch, lane, a)?;
+                        let bv = operand(&warp, block, launch, lane, b)?;
+                        results[lane] = eval_cmp(cmp, ty, av, bv);
+                    }
+                    write_lanes(&mut warp, mask, dst, &results);
+                    writeback = Some((
+                        dst,
+                        cycle
+                            + self
+                                .config
+                                .writeback_latency(exe_latency(UnitType::Sp, None)),
+                    ));
+                    warp.stack.advance();
+                }
+                Instruction::Sel {
+                    dst,
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    for lane in lanes(mask) {
+                        let cv = operand(&warp, block, launch, lane, cond)?;
+                        let tv = operand(&warp, block, launch, lane, if_true)?;
+                        let fv = operand(&warp, block, launch, lane, if_false)?;
+                        results[lane] = eval_sel(cv, tv, fv);
+                    }
+                    write_lanes(&mut warp, mask, dst, &results);
+                    writeback = Some((
+                        dst,
+                        cycle
+                            + self
+                                .config
+                                .writeback_latency(exe_latency(UnitType::Sp, None)),
+                    ));
+                    warp.stack.advance();
+                }
+                Instruction::Sfu { op, dst, a } => {
+                    for lane in lanes(mask) {
+                        let av = operand(&warp, block, launch, lane, a)?;
+                        results[lane] = eval_sfu(op, av);
+                    }
+                    write_lanes(&mut warp, mask, dst, &results);
+                    writeback = Some((
+                        dst,
+                        cycle
+                            + self
+                                .config
+                                .writeback_latency(exe_latency(UnitType::Sfu, None)),
+                    ));
+                    warp.stack.advance();
+                }
+                Instruction::Ld {
+                    space,
+                    dst,
+                    addr,
+                    offset,
+                } => {
+                    let mut loaded = [0u32; WARP_SIZE];
+                    for lane in lanes(mask) {
+                        let base = operand(&warp, block, launch, lane, addr)?;
+                        let a = base.wrapping_add(offset as u32);
+                        results[lane] = a; // DMR verifies the address computation
+                        loaded[lane] = match space {
+                            Space::Global => global.read(a)?,
+                            Space::Shared => block.shared.read(a)?,
+                        };
+                    }
+                    for lane in lanes(mask) {
+                        warp.write_reg(dst, lane, loaded[lane]);
+                    }
+                    writeback = Some((
+                        dst,
+                        cycle
+                            + self
+                                .config
+                                .writeback_latency(exe_latency(UnitType::LdSt, Some(space))),
+                    ));
+                    warp.stack.advance();
+                }
+                Instruction::St {
+                    space,
+                    addr,
+                    offset,
+                    src,
+                } => {
+                    for lane in lanes(mask) {
+                        let base = operand(&warp, block, launch, lane, addr)?;
+                        let a = base.wrapping_add(offset as u32);
+                        results[lane] = a;
+                        let v = operand(&warp, block, launch, lane, src)?;
+                        match space {
+                            Space::Global => global.write(a, v)?,
+                            Space::Shared => block.shared.write(a, v)?,
+                        }
+                    }
+                    warp.stack.advance();
+                }
+                Instruction::Branch {
+                    pred,
+                    negate,
+                    target,
+                    reconv,
+                } => {
+                    let mut taken = 0u32;
+                    for lane in lanes(mask) {
+                        let p = warp.read_reg(pred, lane) != 0;
+                        let t = p ^ negate;
+                        results[lane] = t as u32;
+                        if t {
+                            taken |= 1 << lane;
+                        }
+                    }
+                    warp.stack.branch(taken, target, reconv);
+                }
+                Instruction::Jump { target } => {
+                    warp.stack.jump(target);
+                    has_result = false;
+                }
+                Instruction::Bar => {
+                    warp.stack.advance();
+                    warp.at_barrier = true;
+                    has_result = false;
+                }
+                Instruction::Exit => {
+                    warp.stack.exit(mask);
+                    has_result = false;
+                }
+            }
+        }
+
+        if let Some((dst, ready)) = writeback {
+            warp.note_write(dst, cycle, ready);
+        }
+
+        let unit = instr.unit();
+        let active = mask.count_ones() as u64;
+        self.stats.warp_instructions += 1;
+        self.stats.thread_instructions += active;
+        self.stats.unit_instructions[unit.index()] += 1;
+        self.stats.unit_thread_instructions[unit.index()] += active;
+        self.stats.reg_reads += instr.num_reg_srcs() as u64 * active;
+        if instr.dst().is_some() {
+            self.stats.reg_writes += active;
+        }
+
+        let block_index = self.block_slots[bslot]
+            .as_ref()
+            .map(|b| b.global_index)
+            .unwrap_or(0);
+        let info = IssueInfo {
+            cycle,
+            sm_id: self.id,
+            warp_slot: widx,
+            warp_uid: warp.uid,
+            block: block_index,
+            pc,
+            instr,
+            unit,
+            active_mask: mask,
+            results: &results,
+            has_result,
+            raw_dists,
+        };
+        let stalls = observer.on_issue(&info);
+
+        if warp.is_done() {
+            let block = self.block_slots[bslot].as_mut().expect("block missing");
+            block.live_warps -= 1;
+            if block.live_warps == 0 {
+                self.block_slots[bslot] = None;
+                self.stats.blocks += 1;
+            }
+            // Warp slot stays free.
+        } else {
+            self.warp_slots[widx] = Some(warp);
+        }
+        Ok(stalls)
+    }
+
+    fn release_barriers(&mut self) {
+        for b in self.block_slots.iter().flatten() {
+            let live: Vec<usize> = b
+                .warp_slots
+                .iter()
+                .copied()
+                .filter(|&s| self.warp_slots[s].is_some())
+                .collect();
+            if !live.is_empty()
+                && live
+                    .iter()
+                    .all(|&s| self.warp_slots[s].as_ref().is_some_and(|w| w.at_barrier))
+            {
+                for &s in &live {
+                    if let Some(w) = self.warp_slots[s].as_mut() {
+                        w.at_barrier = false;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Iterate the set lane indices of a mask.
+fn lanes(mask: u32) -> impl Iterator<Item = usize> {
+    (0..WARP_SIZE).filter(move |l| mask & (1 << l) != 0)
+}
+
+fn write_lanes(warp: &mut Warp, mask: u32, dst: warped_isa::Reg, results: &[u32; WARP_SIZE]) {
+    for lane in lanes(mask) {
+        warp.write_reg(dst, lane, results[lane]);
+    }
+}
+
+fn operand(
+    warp: &Warp,
+    block: &BlockState,
+    launch: &LaunchConfig,
+    lane: usize,
+    op: Operand,
+) -> Result<u32, SimError> {
+    match op {
+        Operand::Reg(r) => Ok(warp.read_reg(r, lane)),
+        Operand::Imm(v) => Ok(v),
+        Operand::Param(i) => launch
+            .params
+            .get(i as usize)
+            .copied()
+            .ok_or(SimError::MissingParam { index: i }),
+        Operand::Special(s) => Ok(special_value(s, warp, block, launch, lane)),
+    }
+}
+
+fn special_value(
+    s: SpecialReg,
+    warp: &Warp,
+    block: &BlockState,
+    launch: &LaunchConfig,
+    lane: usize,
+) -> u32 {
+    let lin = warp.lane_base_tid + lane as u32;
+    let bx = launch.block.0.max(1);
+    match s {
+        SpecialReg::TidX => lin % bx,
+        SpecialReg::TidY => lin / bx,
+        SpecialReg::NTidX => launch.block.0,
+        SpecialReg::NTidY => launch.block.1,
+        SpecialReg::CtaIdX => block.cta.0,
+        SpecialReg::CtaIdY => block.cta.1,
+        SpecialReg::NCtaIdX => launch.grid.0,
+        SpecialReg::NCtaIdY => launch.grid.1,
+        SpecialReg::LaneId => lane as u32,
+        SpecialReg::WarpId => warp.warp_in_block as u32,
+        SpecialReg::FlatTid => lin,
+        SpecialReg::GlobalTid => {
+            (block.global_index as u32) * launch.threads_per_block() as u32 + lin
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NullObserver;
+    use warped_isa::KernelBuilder;
+
+    fn small_sm() -> Sm {
+        Sm::new(0, GpuConfig::small())
+    }
+
+    #[test]
+    fn fresh_sm_has_no_work() {
+        let sm = small_sm();
+        assert!(!sm.has_work());
+        assert!(sm.can_accept(4));
+    }
+
+    #[test]
+    fn assign_block_occupies_slots() {
+        let mut sm = small_sm();
+        let mut b = KernelBuilder::new("k");
+        let r = b.reg();
+        b.mov(r, 1u32);
+        let kernel = b.build().unwrap();
+        let launch = LaunchConfig::linear(1, 64);
+        sm.assign_block(0, (0, 0), &kernel, &launch);
+        assert!(sm.has_work());
+        // 2 warps taken of 32; can still accept a large block.
+        assert!(sm.can_accept(30));
+        assert!(!sm.can_accept(31));
+    }
+
+    #[test]
+    fn single_warp_kernel_runs_to_completion() {
+        let mut sm = small_sm();
+        let mut b = KernelBuilder::new("k");
+        let [tid, v] = b.regs();
+        b.mov(tid, warped_isa::SpecialReg::FlatTid);
+        b.iadd(v, tid, 10u32);
+        let kernel = b.build().unwrap();
+        let launch = LaunchConfig::linear(1, 32);
+        sm.assign_block(0, (0, 0), &kernel, &launch);
+        let mut global = GlobalMemory::new(16);
+        let mut cycle = 0;
+        while sm.has_work() {
+            sm.step(cycle, &kernel, &launch, &mut global, &mut NullObserver)
+                .unwrap();
+            cycle += 1;
+            assert!(cycle < 1000, "kernel did not finish");
+        }
+        assert_eq!(sm.stats.warp_instructions, 3); // mov, iadd, exit
+        assert_eq!(sm.stats.blocks, 1);
+    }
+
+    #[test]
+    fn dependent_instructions_respect_raw_latency() {
+        let mut sm = small_sm();
+        let mut b = KernelBuilder::new("k");
+        let [a, c] = b.regs();
+        b.mov(a, 1u32);
+        b.iadd(c, a, a); // depends on mov
+        let kernel = b.build().unwrap();
+        let launch = LaunchConfig::linear(1, 32);
+        sm.assign_block(0, (0, 0), &kernel, &launch);
+        let mut global = GlobalMemory::new(16);
+
+        struct IssueCycles(Vec<u64>);
+        impl IssueObserver for IssueCycles {
+            fn on_issue(&mut self, info: &IssueInfo<'_>) -> u64 {
+                self.0.push(info.cycle);
+                0
+            }
+        }
+        let mut obs = IssueCycles(Vec::new());
+        let mut cycle = 0;
+        while sm.has_work() {
+            sm.step(cycle, &kernel, &launch, &mut global, &mut obs)
+                .unwrap();
+            cycle += 1;
+            assert!(cycle < 1000);
+        }
+        // mov at 0; iadd must wait rf(3) + sp(5) = 8 cycles.
+        assert_eq!(obs.0[0], 0);
+        assert_eq!(obs.0[1], 8);
+    }
+
+    #[test]
+    fn stores_reach_global_memory() {
+        let mut sm = small_sm();
+        let mut b = KernelBuilder::new("k");
+        let [tid, addr] = b.regs();
+        b.mov(tid, warped_isa::SpecialReg::FlatTid);
+        let out = b.param(0);
+        b.iadd(addr, out, tid);
+        b.st_global(addr, 0, tid);
+        let kernel = b.build().unwrap();
+        let launch = LaunchConfig::linear(1, 32).with_params(vec![4]);
+        sm.assign_block(0, (0, 0), &kernel, &launch);
+        let mut global = GlobalMemory::new(64);
+        let mut cycle = 0;
+        while sm.has_work() {
+            sm.step(cycle, &kernel, &launch, &mut global, &mut NullObserver)
+                .unwrap();
+            cycle += 1;
+            assert!(cycle < 1000);
+        }
+        assert_eq!(global.read(4).unwrap(), 0);
+        assert_eq!(global.read(4 + 31).unwrap(), 31);
+    }
+
+    #[test]
+    fn missing_param_is_reported() {
+        let mut sm = small_sm();
+        let mut b = KernelBuilder::new("k");
+        let r = b.reg();
+        let p = b.param(3);
+        b.mov(r, p);
+        let kernel = b.build().unwrap();
+        let launch = LaunchConfig::linear(1, 32);
+        sm.assign_block(0, (0, 0), &kernel, &launch);
+        let mut global = GlobalMemory::new(16);
+        let err = sm
+            .step(0, &kernel, &launch, &mut global, &mut NullObserver)
+            .unwrap_err();
+        assert_eq!(err, SimError::MissingParam { index: 3 });
+    }
+
+    #[test]
+    fn barrier_releases_when_all_warps_arrive() {
+        let mut sm = small_sm();
+        let mut b = KernelBuilder::new("k");
+        let r = b.reg();
+        b.mov(r, 1u32);
+        b.bar();
+        b.iadd(r, r, 1u32);
+        let kernel = b.build().unwrap();
+        let launch = LaunchConfig::linear(1, 64); // 2 warps
+        sm.assign_block(0, (0, 0), &kernel, &launch);
+        let mut global = GlobalMemory::new(16);
+        let mut cycle = 0;
+        while sm.has_work() {
+            sm.step(cycle, &kernel, &launch, &mut global, &mut NullObserver)
+                .unwrap();
+            cycle += 1;
+            assert!(cycle < 10_000, "barrier deadlocked");
+        }
+        // 2 warps × 4 instructions (mov, bar, iadd, exit).
+        assert_eq!(sm.stats.warp_instructions, 8);
+    }
+
+    #[test]
+    fn divergent_branch_executes_both_sides() {
+        let mut sm = small_sm();
+        let mut b = KernelBuilder::new("k");
+        let [lane, p, v, addr] = b.regs();
+        b.mov(lane, warped_isa::SpecialReg::LaneId);
+        b.setp(
+            warped_isa::CmpOp::Lt,
+            warped_isa::CmpType::U32,
+            p,
+            lane,
+            16u32,
+        );
+        b.if_then_else(p, |b| b.mov(v, 111u32), |b| b.mov(v, 222u32));
+        let out = b.param(0);
+        b.iadd(addr, out, lane);
+        b.st_global(addr, 0, v);
+        let kernel = b.build().unwrap();
+        let launch = LaunchConfig::linear(1, 32).with_params(vec![0]);
+        sm.assign_block(0, (0, 0), &kernel, &launch);
+        let mut global = GlobalMemory::new(64);
+        let mut cycle = 0;
+        while sm.has_work() {
+            sm.step(cycle, &kernel, &launch, &mut global, &mut NullObserver)
+                .unwrap();
+            cycle += 1;
+            assert!(cycle < 10_000);
+        }
+        for lane in 0..32u32 {
+            let expect = if lane < 16 { 111 } else { 222 };
+            assert_eq!(global.read(lane).unwrap(), expect, "lane {lane}");
+        }
+    }
+}

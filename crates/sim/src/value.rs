@@ -1,0 +1,99 @@
+//! 32-bit value arithmetic shared by functional execution.
+//!
+//! All registers hold raw 32-bit patterns; float operations bitcast through
+//! `f32`. Saturating float→int conversions follow PTX `cvt.rzi` semantics
+//! (truncate toward zero, saturate at the type bounds, NaN → 0).
+
+/// Reinterpret a register value as `f32`.
+#[inline]
+pub fn as_f32(v: u32) -> f32 {
+    f32::from_bits(v)
+}
+
+/// Reinterpret an `f32` as a register value.
+#[inline]
+pub fn from_f32(v: f32) -> u32 {
+    v.to_bits()
+}
+
+/// Truncating, saturating f32 → i32 (NaN → 0).
+pub fn f32_to_i32(v: f32) -> i32 {
+    if v.is_nan() {
+        0
+    } else if v >= i32::MAX as f32 {
+        i32::MAX
+    } else if v <= i32::MIN as f32 {
+        i32::MIN
+    } else {
+        v.trunc() as i32
+    }
+}
+
+/// Truncating, saturating f32 → u32 (NaN → 0, negatives → 0).
+pub fn f32_to_u32(v: f32) -> u32 {
+    if v.is_nan() || v <= 0.0 {
+        0
+    } else if v >= u32::MAX as f32 {
+        u32::MAX
+    } else {
+        v.trunc() as u32
+    }
+}
+
+/// Float minimum with PTX semantics: if one operand is NaN, the other wins.
+pub fn fmin(a: f32, b: f32) -> f32 {
+    if a.is_nan() {
+        b
+    } else if b.is_nan() {
+        a
+    } else {
+        a.min(b)
+    }
+}
+
+/// Float maximum with PTX semantics: if one operand is NaN, the other wins.
+pub fn fmax(a: f32, b: f32) -> f32 {
+    if a.is_nan() {
+        b
+    } else if b.is_nan() {
+        a
+    } else {
+        a.max(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip() {
+        let x = -3.25f32;
+        assert_eq!(as_f32(from_f32(x)), x);
+    }
+
+    #[test]
+    fn f32_to_i32_saturates() {
+        assert_eq!(f32_to_i32(1e20), i32::MAX);
+        assert_eq!(f32_to_i32(-1e20), i32::MIN);
+        assert_eq!(f32_to_i32(f32::NAN), 0);
+        assert_eq!(f32_to_i32(-2.9), -2);
+        assert_eq!(f32_to_i32(2.9), 2);
+    }
+
+    #[test]
+    fn f32_to_u32_saturates() {
+        assert_eq!(f32_to_u32(-1.0), 0);
+        assert_eq!(f32_to_u32(1e20), u32::MAX);
+        assert_eq!(f32_to_u32(f32::NAN), 0);
+        assert_eq!(f32_to_u32(7.9), 7);
+    }
+
+    #[test]
+    fn nan_handling_in_min_max() {
+        assert_eq!(fmin(f32::NAN, 2.0), 2.0);
+        assert_eq!(fmax(2.0, f32::NAN), 2.0);
+        assert_eq!(fmin(1.0, 2.0), 1.0);
+        assert_eq!(fmax(1.0, 2.0), 2.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Warp context: registers, scoreboard, and divergence state.
+
+use crate::config::WARP_SIZE;
+use crate::simt_stack::SimtStack;
+use warped_isa::{Instruction, Reg};
+
+/// The populated-lane mask for a warp whose lanes cover linear thread ids
+/// `base..base + WARP_SIZE` in a block of `threads_in_block` threads.
+pub fn populated_mask(base: u32, threads_in_block: u32) -> u32 {
+    let mut mask = 0u32;
+    for lane in 0..WARP_SIZE as u32 {
+        if base + lane < threads_in_block {
+            mask |= 1 << lane;
+        }
+    }
+    mask
+}
+
+/// One resident warp of 32 threads.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// Globally unique warp id (stable across the launch).
+    pub uid: u64,
+    /// Resident-block slot this warp belongs to.
+    pub block_slot: usize,
+    /// Warp index within its block.
+    pub warp_in_block: usize,
+    /// Linear thread id of lane 0 within the block.
+    pub lane_base_tid: u32,
+    /// Divergence state.
+    pub stack: SimtStack,
+    /// Whether the warp is parked at a `bar.sync`.
+    pub at_barrier: bool,
+    regs: Vec<u32>,
+    pending: Vec<u64>,
+    last_write_issue: Vec<u64>,
+}
+
+impl Warp {
+    /// Create a warp whose lanes cover linear tids
+    /// `lane_base_tid..lane_base_tid + 32` of a block with
+    /// `threads_in_block` threads, with a zeroed register frame of
+    /// `num_regs` registers per lane.
+    pub fn new(
+        uid: u64,
+        block_slot: usize,
+        warp_in_block: usize,
+        threads_in_block: u32,
+        num_regs: u16,
+    ) -> Self {
+        let lane_base_tid = (warp_in_block * WARP_SIZE) as u32;
+        let mask = populated_mask(lane_base_tid, threads_in_block);
+        let n = num_regs as usize;
+        Warp {
+            uid,
+            block_slot,
+            warp_in_block,
+            lane_base_tid,
+            stack: SimtStack::new(mask),
+            at_barrier: false,
+            regs: vec![0; n * WARP_SIZE],
+            pending: vec![0; n],
+            last_write_issue: vec![u64::MAX; n],
+        }
+    }
+
+    /// Read register `reg` of `lane`.
+    #[inline]
+    pub fn read_reg(&self, reg: Reg, lane: usize) -> u32 {
+        self.regs[reg.index() * WARP_SIZE + lane]
+    }
+
+    /// Write register `reg` of `lane`.
+    #[inline]
+    pub fn write_reg(&mut self, reg: Reg, lane: usize, value: u32) {
+        self.regs[reg.index() * WARP_SIZE + lane] = value;
+    }
+
+    /// Scoreboard check: can `instr` issue at `cycle`?
+    ///
+    /// All source registers and the destination (WAW) must have completed
+    /// writeback.
+    pub fn scoreboard_ready(&self, instr: &Instruction, cycle: u64) -> bool {
+        if let Some(dst) = instr.dst() {
+            if self.pending[dst.index()] > cycle {
+                return false;
+            }
+        }
+        instr
+            .src_regs()
+            .into_iter()
+            .flatten()
+            .all(|r| self.pending[r.index()] <= cycle)
+    }
+
+    /// Record a write issued at `issue_cycle` completing at `ready_cycle`.
+    pub fn note_write(&mut self, reg: Reg, issue_cycle: u64, ready_cycle: u64) {
+        self.pending[reg.index()] = ready_cycle;
+        self.last_write_issue[reg.index()] = issue_cycle;
+    }
+
+    /// Issue-to-issue RAW distance for reading `reg` at `cycle`
+    /// (`None` if the register was never written).
+    pub fn raw_distance(&self, reg: Reg, cycle: u64) -> Option<u64> {
+        let w = self.last_write_issue[reg.index()];
+        (w != u64::MAX).then(|| cycle.saturating_sub(w))
+    }
+
+    /// Whether all threads have exited.
+    pub fn is_done(&self) -> bool {
+        self.stack.is_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_isa::{AluBinOp, Operand};
+
+    fn add(dst: u16, a: u16, b: u16) -> Instruction {
+        Instruction::Bin {
+            op: AluBinOp::IAdd,
+            dst: Reg(dst),
+            a: Operand::Reg(Reg(a)),
+            b: Operand::Reg(Reg(b)),
+        }
+    }
+
+    #[test]
+    fn populated_mask_shapes() {
+        assert_eq!(populated_mask(0, 32), u32::MAX);
+        assert_eq!(populated_mask(0, 8), 0xff);
+        assert_eq!(populated_mask(32, 40), 0xff);
+        assert_eq!(populated_mask(32, 32), 0);
+        assert_eq!(populated_mask(0, 64), u32::MAX);
+    }
+
+    #[test]
+    fn register_read_write_per_lane() {
+        let mut w = Warp::new(0, 0, 0, 32, 4);
+        w.write_reg(Reg(2), 5, 99);
+        assert_eq!(w.read_reg(Reg(2), 5), 99);
+        assert_eq!(w.read_reg(Reg(2), 6), 0);
+        assert_eq!(w.read_reg(Reg(3), 5), 0);
+    }
+
+    #[test]
+    fn scoreboard_blocks_raw_and_waw() {
+        let mut w = Warp::new(0, 0, 0, 32, 4);
+        let instr = add(0, 1, 2);
+        assert!(w.scoreboard_ready(&instr, 0));
+        // Pending write to a source blocks issue.
+        w.note_write(Reg(1), 0, 8);
+        assert!(!w.scoreboard_ready(&instr, 7));
+        assert!(w.scoreboard_ready(&instr, 8));
+        // Pending write to the destination (WAW) blocks issue.
+        w.note_write(Reg(0), 9, 17);
+        assert!(!w.scoreboard_ready(&instr, 16));
+        assert!(w.scoreboard_ready(&instr, 17));
+    }
+
+    #[test]
+    fn raw_distance_tracks_last_writer() {
+        let mut w = Warp::new(0, 0, 0, 32, 4);
+        assert_eq!(w.raw_distance(Reg(1), 100), None);
+        w.note_write(Reg(1), 10, 18);
+        assert_eq!(w.raw_distance(Reg(1), 25), Some(15));
+    }
+
+    #[test]
+    fn second_warp_of_block_covers_upper_tids() {
+        let mut w = Warp::new(1, 0, 1, 48, 2);
+        assert_eq!(w.lane_base_tid, 32);
+        // 48-thread block: second warp has 16 populated lanes.
+        let (_, mask) = w.stack.top().unwrap();
+        assert_eq!(mask, 0xffff);
+    }
+}

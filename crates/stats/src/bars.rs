@@ -1,0 +1,113 @@
+//! ASCII stacked bar charts, for terminal renditions of the paper's
+//! stacked-bar figures (Fig. 1, Fig. 5).
+
+/// Render horizontal stacked bars.
+///
+/// `rows` pairs a label with its segment fractions (each row's fractions
+/// should sum to ≈1; they are clamped and scaled to `width` cells).
+/// Segment `i` is drawn with `glyphs[i % glyphs.len()]`. A legend maps
+/// glyphs to `segment_names`.
+///
+/// ```
+/// use warped_stats::bars::stacked;
+///
+/// let chart = stacked(
+///     &[("BFS".into(), vec![0.8, 0.2])],
+///     &["idle".into(), "busy".into()],
+///     20,
+/// );
+/// assert!(chart.contains("BFS"));
+/// assert!(chart.lines().count() >= 2);
+/// ```
+pub fn stacked(rows: &[(String, Vec<f64>)], segment_names: &[String], width: usize) -> String {
+    const GLYPHS: [char; 6] = ['█', '▓', '▒', '░', '·', ' '];
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain(std::iter::once(6))
+        .max()
+        .unwrap_or(6);
+    let mut out = String::new();
+    for (label, fracs) in rows {
+        let mut bar = String::with_capacity(width);
+        let mut cells_used = 0usize;
+        let total: f64 = fracs.iter().map(|f| f.max(0.0)).sum();
+        let norm = if total > 0.0 { total } else { 1.0 };
+        for (i, f) in fracs.iter().enumerate() {
+            let share = (f.max(0.0) / norm * width as f64).round() as usize;
+            let cells = share.min(width - cells_used);
+            for _ in 0..cells {
+                bar.push(GLYPHS[i % GLYPHS.len()]);
+            }
+            cells_used += cells;
+        }
+        while cells_used < width {
+            bar.push(' ');
+            cells_used += 1;
+        }
+        out.push_str(&format!("{label:>label_w$} |{bar}|\n"));
+    }
+    out.push_str(&format!("{:>label_w$}  ", "legend"));
+    for (i, name) in segment_names.iter().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        out.push(GLYPHS[i % GLYPHS.len()]);
+        out.push(' ');
+        out.push_str(name);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<(String, Vec<f64>)> {
+        vec![("a".into(), vec![0.5, 0.5]), ("bb".into(), vec![1.0, 0.0])]
+    }
+
+    #[test]
+    fn bars_have_uniform_width() {
+        let chart = stacked(&rows(), &["x".into(), "y".into()], 40);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let w0 = lines[0].chars().count();
+        let w1 = lines[1].chars().count();
+        assert_eq!(w0, w1);
+    }
+
+    #[test]
+    fn segments_fill_proportionally() {
+        let chart = stacked(&rows(), &["x".into(), "y".into()], 10);
+        let first = chart.lines().next().unwrap();
+        let full: usize = first.chars().filter(|c| *c == '█').count();
+        let second: usize = first.chars().filter(|c| *c == '▓').count();
+        assert_eq!(full, 5);
+        assert_eq!(second, 5);
+    }
+
+    #[test]
+    fn over_unity_fractions_are_normalized() {
+        let r = vec![("x".into(), vec![2.0, 2.0])];
+        let chart = stacked(&r, &["a".into(), "b".into()], 10);
+        let line = chart.lines().next().unwrap();
+        let bar: String = line.chars().skip_while(|c| *c != '|').collect();
+        assert_eq!(bar.chars().filter(|c| *c == '█').count(), 5);
+    }
+
+    #[test]
+    fn empty_fractions_render_blank_bar() {
+        let r = vec![("x".into(), vec![0.0, 0.0])];
+        let chart = stacked(&r, &["a".into(), "b".into()], 8);
+        assert!(chart.lines().next().unwrap().contains("|        |"));
+    }
+
+    #[test]
+    fn legend_lists_all_segments() {
+        let chart = stacked(&rows(), &["alpha".into(), "beta".into()], 10);
+        let legend = chart.lines().last().unwrap();
+        assert!(legend.contains("alpha") && legend.contains("beta"));
+    }
+}

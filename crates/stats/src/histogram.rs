@@ -1,0 +1,268 @@
+//! Weighted histograms over integer domains.
+
+/// A histogram over contiguous integer ranges defined by bucket lower edges.
+///
+/// With edges `[1, 2, 12, 22, 32]` the buckets are `[1,2)`, `[2,12)`,
+/// `[12,22)`, `[22,32)` and `[32,∞)` — exactly the active-thread buckets of
+/// paper Fig. 1. Values below the first edge are clamped into bucket 0.
+///
+/// Records are *weighted* so one call can account several cycles at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeHistogram {
+    edges: Vec<u32>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl RangeHistogram {
+    /// Create a histogram with the given ascending bucket lower edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly ascending.
+    pub fn new(edges: &[u32]) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        RangeHistogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len()],
+            total: 0,
+        }
+    }
+
+    /// Bucket index that `value` falls into.
+    pub fn bucket_of(&self, value: u32) -> usize {
+        match self.edges.binary_search(&value) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Add `weight` observations of `value`.
+    pub fn record(&mut self, value: u32, weight: u64) {
+        let b = self.bucket_of(value);
+        self.counts[b] += weight;
+        self.total += weight;
+    }
+
+    /// Total weight in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Fraction of all weight in bucket `i` (0.0 when empty).
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Total recorded weight.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Bucket lower edges.
+    pub fn edges(&self) -> &[u32] {
+        &self.edges
+    }
+
+    /// Human-readable label for bucket `i`, e.g. `"2-11"` or `"32"`.
+    pub fn bucket_label(&self, i: usize) -> String {
+        let lo = self.edges[i];
+        match self.edges.get(i + 1) {
+            Some(&hi) if hi == lo + 1 => format!("{lo}"),
+            Some(&hi) => format!("{lo}-{}", hi - 1),
+            None => format!("{lo}+"),
+        }
+    }
+
+    /// All `(label, fraction)` pairs, in bucket order.
+    pub fn fractions(&self) -> Vec<(String, f64)> {
+        (0..self.num_buckets())
+            .map(|i| (self.bucket_label(i), self.fraction(i)))
+            .collect()
+    }
+}
+
+/// A histogram with power-of-two buckets: `[1,2)`, `[2,4)`, `[4,8)`, ...
+///
+/// Used for RAW dependency distances (paper Fig. 8b), which span four
+/// decades. Bucket `i` covers `[2^i, 2^(i+1))`; zero values land in
+/// bucket 0.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Create an empty log-scale histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for `value` (`floor(log2(value))`, 0 for 0 and 1).
+    pub fn bucket_of(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            (63 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Record one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Count in bucket `i` (0 for buckets never touched).
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of materialized buckets (highest touched + 1).
+    pub fn num_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Fraction of observations at or above `threshold`.
+    pub fn fraction_at_least(&self, threshold: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        // Count whole buckets above the threshold bucket; the threshold's own
+        // bucket is included when the threshold is its lower edge.
+        let tb = Self::bucket_of(threshold);
+        let exact_edge = threshold == 0 || threshold.is_power_of_two() || threshold == 1;
+        let from = if exact_edge { tb } else { tb + 1 };
+        let above: u64 = self.counts.iter().skip(from).sum();
+        above as f64 / self.total as f64
+    }
+
+    /// Label for bucket `i`, e.g. `"[8,16)"`.
+    pub fn bucket_label(i: usize) -> String {
+        let lo = 1u64 << i;
+        let hi = 1u64 << (i + 1);
+        if i == 0 {
+            "[0,2)".to_string()
+        } else {
+            format!("[{lo},{hi})")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_bucket_lookup() {
+        let h = RangeHistogram::new(&[1, 2, 12, 22, 32]);
+        assert_eq!(h.bucket_of(0), 0); // clamped
+        assert_eq!(h.bucket_of(1), 0);
+        assert_eq!(h.bucket_of(2), 1);
+        assert_eq!(h.bucket_of(11), 1);
+        assert_eq!(h.bucket_of(12), 2);
+        assert_eq!(h.bucket_of(31), 3);
+        assert_eq!(h.bucket_of(32), 4);
+        assert_eq!(h.bucket_of(1000), 4);
+    }
+
+    #[test]
+    fn range_record_and_fractions() {
+        let mut h = RangeHistogram::new(&[1, 2, 12, 22, 32]);
+        h.record(1, 10);
+        h.record(32, 30);
+        assert_eq!(h.total(), 40);
+        assert!((h.fraction(0) - 0.25).abs() < 1e-12);
+        assert!((h.fraction(4) - 0.75).abs() < 1e-12);
+        assert_eq!(h.fraction(1), 0.0);
+    }
+
+    #[test]
+    fn range_labels() {
+        let h = RangeHistogram::new(&[1, 2, 12, 22, 32]);
+        assert_eq!(h.bucket_label(0), "1");
+        assert_eq!(h.bucket_label(1), "2-11");
+        assert_eq!(h.bucket_label(3), "22-31");
+        assert_eq!(h.bucket_label(4), "32+");
+    }
+
+    #[test]
+    fn empty_histogram_fraction_is_zero() {
+        let h = RangeHistogram::new(&[0]);
+        assert_eq!(h.fraction(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_edges_panic() {
+        RangeHistogram::new(&[2, 1]);
+    }
+
+    #[test]
+    fn log_bucket_of() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 0);
+        assert_eq!(LogHistogram::bucket_of(2), 1);
+        assert_eq!(LogHistogram::bucket_of(3), 1);
+        assert_eq!(LogHistogram::bucket_of(4), 2);
+        assert_eq!(LogHistogram::bucket_of(1023), 9);
+        assert_eq!(LogHistogram::bucket_of(1024), 10);
+    }
+
+    #[test]
+    fn log_record_and_tail_fraction() {
+        let mut h = LogHistogram::new();
+        for d in [8u64, 8, 100, 100, 100, 100, 2000, 2000] {
+            h.record(d);
+        }
+        assert_eq!(h.total(), 8);
+        // >= 128: only the two 2000s (100 is in [64,128)).
+        assert!((h.fraction_at_least(128) - 0.25).abs() < 1e-12);
+        // >= 1024: the two 2000s.
+        assert!((h.fraction_at_least(1024) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_labels() {
+        assert_eq!(LogHistogram::bucket_label(0), "[0,2)");
+        assert_eq!(LogHistogram::bucket_label(3), "[8,16)");
+    }
+
+    #[test]
+    fn fractions_align_with_labels() {
+        let mut h = RangeHistogram::new(&[1, 2, 12, 22, 32]);
+        h.record(5, 4);
+        let f = h.fractions();
+        assert_eq!(f.len(), 5);
+        assert_eq!(f[1].0, "2-11");
+        assert!((f[1].1 - 1.0).abs() < 1e-12);
+    }
+}

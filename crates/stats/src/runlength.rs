@@ -1,0 +1,159 @@
+//! Run-length tracking of keyed event streams.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// Tracks, per key, the average distance a run of identical keys extends
+/// before the stream switches to another key.
+///
+/// Feed it `(position, key)` pairs in ascending position order (positions
+/// are cycles in the simulator). When the key changes, the closed run's
+/// span — `switch_position - run_start_position` — is credited to the run's
+/// key. This reproduces paper Fig. 8a ("average cycle distance before an
+/// instruction type is switched to another").
+///
+/// ```
+/// use warped_stats::RunLengthTracker;
+///
+/// let mut t = RunLengthTracker::new();
+/// t.push(0, "SP");
+/// t.push(1, "SP");
+/// t.push(2, "LD");   // closes an SP run of span 2
+/// t.push(5, "SP");   // closes an LD run of span 3
+/// t.finish(7);       // closes the final SP run of span 2
+/// assert_eq!(t.average("SP"), Some(2.0));
+/// assert_eq!(t.average("LD"), Some(3.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunLengthTracker<K: Ord + Clone + Debug> {
+    current: Option<(u64, K)>,
+    sums: BTreeMap<K, (u64, u64)>, // key -> (total span, runs)
+}
+
+impl<K: Ord + Clone + Debug> Default for RunLengthTracker<K> {
+    fn default() -> Self {
+        RunLengthTracker {
+            current: None,
+            sums: BTreeMap::new(),
+        }
+    }
+}
+
+impl<K: Ord + Clone + Debug> RunLengthTracker<K> {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe `key` at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if positions go backwards.
+    pub fn push(&mut self, position: u64, key: K) {
+        match &self.current {
+            Some((start, k)) if *k == key => {
+                debug_assert!(position >= *start, "positions must be ascending");
+            }
+            Some((start, k)) => {
+                debug_assert!(position >= *start, "positions must be ascending");
+                let span = position - start;
+                let e = self.sums.entry(k.clone()).or_insert((0, 0));
+                e.0 += span;
+                e.1 += 1;
+                self.current = Some((position, key));
+            }
+            None => self.current = Some((position, key)),
+        }
+    }
+
+    /// Close the final run at `position` (e.g. the last simulated cycle).
+    pub fn finish(&mut self, position: u64) {
+        if let Some((start, k)) = self.current.take() {
+            let span = position.saturating_sub(start);
+            let e = self.sums.entry(k).or_insert((0, 0));
+            e.0 += span;
+            e.1 += 1;
+        }
+    }
+
+    /// Average run span for `key`, or `None` if no run of that key closed.
+    pub fn average(&self, key: K) -> Option<f64> {
+        self.sums
+            .get(&key)
+            .filter(|(_, n)| *n > 0)
+            .map(|(sum, n)| *sum as f64 / *n as f64)
+    }
+
+    /// Raw `(total span, closed runs)` for `key`, for pooling trackers.
+    pub fn raw(&self, key: K) -> (u64, u64) {
+        self.sums.get(&key).copied().unwrap_or((0, 0))
+    }
+
+    /// Number of closed runs for `key`.
+    pub fn runs(&self, key: K) -> u64 {
+        self.sums.get(&key).map(|(_, n)| *n).unwrap_or(0)
+    }
+
+    /// All keys with at least one closed run.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.sums.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_run_needs_finish() {
+        let mut t = RunLengthTracker::new();
+        t.push(0, 'a');
+        t.push(3, 'a');
+        assert_eq!(t.average('a'), None);
+        t.finish(10);
+        assert_eq!(t.average('a'), Some(10.0));
+        assert_eq!(t.runs('a'), 1);
+    }
+
+    #[test]
+    fn alternating_keys_close_runs() {
+        let mut t = RunLengthTracker::new();
+        for (p, k) in [(0, 'a'), (1, 'b'), (2, 'a'), (3, 'b')] {
+            t.push(p, k);
+        }
+        t.finish(4);
+        assert_eq!(t.average('a'), Some(1.0));
+        assert_eq!(t.average('b'), Some(1.0));
+        assert_eq!(t.runs('a'), 2);
+    }
+
+    #[test]
+    fn gaps_count_toward_span() {
+        // Issue at cycles 0 and 9 of the same key, then a switch at 10:
+        // span is 10 cycles even though only two events occurred.
+        let mut t = RunLengthTracker::new();
+        t.push(0, 'a');
+        t.push(9, 'a');
+        t.push(10, 'b');
+        t.finish(11);
+        assert_eq!(t.average('a'), Some(10.0));
+    }
+
+    #[test]
+    fn unknown_key_has_no_average() {
+        let t: RunLengthTracker<char> = RunLengthTracker::new();
+        assert_eq!(t.average('z'), None);
+        assert_eq!(t.runs('z'), 0);
+    }
+
+    #[test]
+    fn keys_lists_closed_runs() {
+        let mut t = RunLengthTracker::new();
+        t.push(0, 1u32);
+        t.push(1, 2u32);
+        t.finish(2);
+        let keys: Vec<u32> = t.keys().copied().collect();
+        assert_eq!(keys, vec![1, 2]);
+    }
+}

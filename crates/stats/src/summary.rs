@@ -1,0 +1,114 @@
+//! Streaming summary statistics.
+
+/// Streaming mean / min / max / count accumulator.
+///
+/// ```
+/// use warped_stats::Summary;
+///
+/// let mut s = Summary::new();
+/// s.add(1.0);
+/// s.add(3.0);
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    sum: f64,
+    count: u64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Summary {
+    /// Create an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let s: Summary = [2.0, 4.0, 6.0].into_iter().collect();
+        assert_eq!(s.mean(), 4.0);
+        assert_eq!(s.sum(), 12.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(6.0));
+    }
+
+    #[test]
+    fn negative_values() {
+        let mut s = Summary::new();
+        s.add(-5.0);
+        s.add(5.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), Some(-5.0));
+    }
+}

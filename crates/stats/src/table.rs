@@ -1,0 +1,158 @@
+//! Aligned text tables and CSV rendering for experiment output.
+
+use std::fmt;
+
+/// A simple column-aligned table used by every experiment harness to print
+/// the rows/series of a paper table or figure.
+///
+/// ```
+/// use warped_stats::Table;
+///
+/// let mut t = Table::new(vec!["benchmark", "coverage %"]);
+/// t.row(vec!["BFS".into(), format!("{:.2}", 99.98f64)]);
+/// let text = t.render();
+/// assert!(text.contains("BFS"));
+/// assert!(text.contains("99.98"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(headers: Vec<impl Into<String>>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Short rows are padded with empty cells; long rows are
+    /// truncated to the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table with a header separator.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().take(ncols).enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().take(widths.len()).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{c:>width$}", width = widths[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting; cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a ratio as a percentage string with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", 100.0 * x)
+}
+
+/// Format a float with `n` decimals.
+pub fn fixed(x: f64, n: usize) -> String {
+    format!("{x:.n$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // header and row should be the same width
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "1,,");
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["3".into(), "4".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "x,y\n1,2\n3,4\n");
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.9643), "96.43");
+        assert_eq!(fixed(1.161, 2), "1.16");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new(vec!["h"]);
+        t.row(vec!["v".into()]);
+        assert_eq!(t.to_string(), t.render());
+    }
+}

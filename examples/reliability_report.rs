@@ -1,0 +1,63 @@
+//! Reliability deep-dive for one benchmark: coverage under the paper's
+//! three hardware configurations (Fig. 9a) and the ReplayQ overhead sweep
+//! (Fig. 9b).
+//!
+//! ```text
+//! cargo run --release --example reliability_report [benchmark]
+//! ```
+
+use warped::dmr::{DmrConfig, WarpedDmr};
+use warped::kernels::{Benchmark, WorkloadSize};
+use warped::sim::{GpuConfig, NullObserver};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "SCAN".to_string());
+    let bench = Benchmark::from_name(&name)
+        .ok_or_else(|| format!("unknown benchmark {name}; try BFS, SCAN, MatrixMul, ..."))?;
+
+    let gpu = GpuConfig {
+        num_sms: 4,
+        ..GpuConfig::default()
+    };
+    let w = bench.build(WorkloadSize::Small)?;
+    println!("benchmark: {bench} ({})", bench.category());
+
+    // Coverage under the three Fig. 9a configurations.
+    println!("\ncoverage by hardware configuration:");
+    let configs = [
+        ("4-lane cluster, in-order", DmrConfig::baseline_in_order()),
+        ("8-lane cluster, in-order", DmrConfig::eight_lane_cluster()),
+        ("4-lane cluster, cross map", DmrConfig::default()),
+    ];
+    for (label, cfg) in configs {
+        let mut engine = WarpedDmr::new(cfg, &gpu);
+        let run = w.run_with(&gpu, &mut engine)?;
+        w.check(&run)?;
+        let r = engine.report();
+        println!(
+            "  {label:27} {:6.2}%   (intra {:5.1}%, inter {:5.1}%)",
+            r.coverage_pct(),
+            100.0 * r.intra_share(),
+            100.0 * (1.0 - r.intra_share()),
+        );
+    }
+
+    // Overhead vs ReplayQ size.
+    let base = w.run_with(&gpu, &mut NullObserver)?.stats.cycles;
+    println!("\nkernel cycles vs ReplayQ size (baseline {base}):");
+    for q in [0usize, 1, 5, 10] {
+        let mut engine = WarpedDmr::new(DmrConfig::default().with_replayq(q), &gpu);
+        let run = w.run_with(&gpu, &mut engine)?;
+        let r = engine.report();
+        println!(
+            "  Q={q:2}: {:8} cycles ({:+5.1}%), {} stalls, queue high-water {}",
+            run.stats.cycles,
+            100.0 * (run.stats.cycles as f64 / base as f64 - 1.0),
+            r.checker.stall_cycles,
+            r.checker.max_queue,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Paper Tables 1, 3 and 4 as printable artifacts.
+
+use warped_core::rfu;
+use warped_kernels::Benchmark;
+use warped_sim::GpuConfig;
+use warped_stats::Table;
+
+/// Paper Table 1: the RFU MUX priority table for a 4-lane SIMT cluster.
+pub fn table1() -> Table {
+    let mut t = Table::new(vec!["Priority", "MUX0", "MUX1", "MUX2", "MUX3"]);
+    const ORDINALS: [&str; 4] = ["1st", "2nd", "3rd", "4th"];
+    for (k, ord) in ORDINALS.iter().enumerate() {
+        let mut cells = vec![ord.to_string()];
+        for m in 0..4 {
+            cells.push(rfu::priority(m, k).to_string());
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Paper Table 3: simulation parameters.
+pub fn table3(cfg: &GpuConfig) -> Table {
+    let mut t = Table::new(vec!["Parameter", "Value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("Execution Model", "In-order".into()),
+        ("Execution Width", "32 wide SIMT".into()),
+        ("Warp Size", warped_sim::WARP_SIZE.to_string()),
+        ("# Threads/Core", cfg.max_threads_per_sm().to_string()),
+        ("# Core(SP)s/Multiprocessor(SM)", "32".into()),
+        ("# SMs", cfg.num_sms.to_string()),
+        ("RF latency (cycles)", cfg.rf_latency.to_string()),
+        ("SP latency (cycles)", cfg.sp_latency.to_string()),
+        ("SFU latency (cycles)", cfg.sfu_latency.to_string()),
+        (
+            "Shared mem latency (cycles)",
+            cfg.shared_latency.to_string(),
+        ),
+        (
+            "Global mem latency (cycles)",
+            cfg.global_latency.to_string(),
+        ),
+        ("Clock period (ns)", format!("{}", cfg.clock_ns)),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_string(), v]);
+    }
+    t
+}
+
+/// Paper Table 4: the workload list.
+pub fn table4() -> Table {
+    let mut t = Table::new(vec!["Category", "Benchmark"]);
+    for b in Benchmark::ALL {
+        t.row(vec![b.category().to_string(), b.name().to_string()]);
+    }
+    t
+}

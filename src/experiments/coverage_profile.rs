@@ -1,0 +1,83 @@
+//! Coverage by warp utilization (paper §3.3 / §5.2): *where* the
+//! coverage gaps of Fig. 9a come from.
+//!
+//! The paper's analysis: intra-warp DMR covers 100% when active ≤ half
+//! the warp; above that it degrades toward `#inactive / #active`; fully
+//! utilized warps are handed to inter-warp DMR, which always reaches
+//! 100%. This harness slices measured coverage by the Fig. 1 activity
+//! buckets and shows exactly that profile — e.g. CUFFT's loss lives
+//! entirely in the 22–31 bucket.
+
+use crate::experiments::{ExperimentConfig, ExperimentError};
+use warped_core::{DmrConfig, WarpedDmr};
+use warped_kernels::Benchmark;
+use warped_stats::Table;
+
+/// One benchmark's coverage-by-utilization profile.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Coverage % per bucket (1 / 2-11 / 12-21 / 22-31 / 32); `None`
+    /// where the benchmark never issued in that bucket.
+    pub per_bucket: [Option<f64>; 5],
+    /// Overall coverage %.
+    pub overall: f64,
+}
+
+/// Bucket labels matching paper Fig. 1.
+pub const BUCKET_LABELS: [&str; 5] = ["1", "2-11", "12-21", "22-31", "32"];
+
+/// Run the profile over the whole suite under the paper's best
+/// configuration.
+///
+/// # Errors
+///
+/// Propagates workload and simulator errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<ProfileRow>, Table), ExperimentError> {
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let w = bench.build(cfg.size)?;
+        let mut engine = WarpedDmr::new(DmrConfig::default(), &cfg.gpu);
+        let run = w.run_with(&cfg.gpu, &mut engine)?;
+        w.check(&run)?;
+        let r = engine.report();
+        let per_bucket =
+            std::array::from_fn(|i| (r.bucket_total[i] > 0).then(|| r.bucket_coverage_pct(i)));
+        rows.push(ProfileRow {
+            benchmark: bench,
+            per_bucket,
+            overall: r.coverage_pct(),
+        });
+    }
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(BUCKET_LABELS.iter().map(|l| format!("{l} (%)")));
+    headers.push("overall (%)".to_string());
+    let mut table = Table::new(headers);
+    for r in &rows {
+        let mut cells = vec![r.benchmark.name().to_string()];
+        cells.extend(
+            r.per_bucket
+                .iter()
+                .map(|b| b.map_or("-".to_string(), |v| format!("{v:.1}"))),
+        );
+        cells.push(format!("{:.2}", r.overall));
+        table.row(cells);
+    }
+    Ok((rows, table))
+}
+
+/// The §3.3 theory in closed form: expected intra-warp coverage fraction
+/// for `active` active threads of a 32-lane warp under ideal (balanced)
+/// pairing.
+pub fn theoretical_intra_coverage(active: u32) -> f64 {
+    if active == 0 {
+        return 0.0;
+    }
+    let idle = 32u32.saturating_sub(active);
+    if active <= idle {
+        1.0
+    } else {
+        idle as f64 / active as f64
+    }
+}

@@ -1,0 +1,81 @@
+//! Fault-injection validation: measured detection rates vs. the analytic
+//! coverage of Fig. 9a, plus the §3.2 lane-shuffling demonstration.
+
+use crate::experiments::{ExperimentConfig, ExperimentError};
+use warped_core::{DmrConfig, WarpedDmr};
+use warped_faults::campaign::{stuck_at_campaign, transient_campaign, Protection};
+use warped_kernels::{Benchmark, WorkloadSize};
+use warped_stats::Table;
+
+/// One benchmark's row of the fault-validation experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Analytic coverage (Fig. 9a metric) at this size.
+    pub analytic_coverage_pct: f64,
+    /// Measured transient detection rate under Warped-DMR.
+    pub transient_detection_pct: f64,
+    /// Measured stuck-at detection rate under Warped-DMR (shuffled).
+    pub stuck_detection_pct: f64,
+    /// Measured stuck-at detection rate under DMTR (core affinity).
+    pub dmtr_stuck_detection_pct: f64,
+}
+
+/// Benchmarks exercised by the campaign (one intra-heavy, one
+/// inter-heavy, one mixed — a full sweep would re-simulate hundreds of
+/// runs).
+pub const CAMPAIGN_BENCHMARKS: [Benchmark; 3] =
+    [Benchmark::Bfs, Benchmark::MatrixMul, Benchmark::Scan];
+
+/// Run the campaigns. Injection always runs at `Tiny` size (each trial
+/// is a full simulation); `trials` faults of each kind per benchmark.
+///
+/// # Errors
+///
+/// Propagates workload and simulator errors.
+pub fn run(
+    cfg: &ExperimentConfig,
+    trials: u32,
+    seed: u64,
+) -> Result<(Vec<FaultRow>, Table), ExperimentError> {
+    let dmr = DmrConfig::default();
+    let mut rows = Vec::new();
+    for bench in CAMPAIGN_BENCHMARKS {
+        let w = bench.build(WorkloadSize::Tiny)?;
+        let mut engine = WarpedDmr::new(dmr.clone(), &cfg.gpu);
+        let run = w.run_with(&cfg.gpu, &mut engine)?;
+        w.check(&run)?;
+        let analytic = engine.report().coverage_pct();
+
+        let transient =
+            transient_campaign(&w, &cfg.gpu, &dmr, Protection::WarpedDmr, trials, seed)?;
+        let stuck = stuck_at_campaign(&w, &cfg.gpu, &dmr, Protection::WarpedDmr, trials, seed)?;
+        let dmtr_stuck = stuck_at_campaign(&w, &cfg.gpu, &dmr, Protection::Dmtr, trials, seed)?;
+
+        rows.push(FaultRow {
+            benchmark: bench,
+            analytic_coverage_pct: analytic,
+            transient_detection_pct: transient.detection_rate_pct(),
+            stuck_detection_pct: stuck.detection_rate_pct(),
+            dmtr_stuck_detection_pct: dmtr_stuck.detection_rate_pct(),
+        });
+    }
+    let mut table = Table::new(vec![
+        "benchmark",
+        "analytic coverage (%)",
+        "transient detected (%)",
+        "stuck-at detected (%)",
+        "DMTR stuck-at detected (%)",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.benchmark.name().to_string(),
+            format!("{:.2}", r.analytic_coverage_pct),
+            format!("{:.1}", r.transient_detection_pct),
+            format!("{:.1}", r.stuck_detection_pct),
+            format!("{:.1}", r.dmtr_stuck_detection_pct),
+        ]);
+    }
+    Ok((rows, table))
+}

@@ -1,0 +1,52 @@
+//! Paper Fig. 1: execution-time breakdown by number of active threads.
+
+use crate::experiments::{ExperimentConfig, ExperimentError};
+use warped_kernels::Benchmark;
+use warped_sim::collectors::ActiveThreadCollector;
+use warped_stats::Table;
+
+/// One benchmark's bar of Fig. 1.
+#[derive(Debug, Clone)]
+pub struct Fig1Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// `(bucket label, fraction of issued instructions)` in the paper's
+    /// bucket order (1, 2-11, 12-21, 22-31, 32).
+    pub fractions: Vec<(String, f64)>,
+}
+
+impl Fig1Row {
+    /// Fraction of instructions issued by fully-utilized warps.
+    pub fn full_fraction(&self) -> f64 {
+        self.fractions.last().map(|(_, f)| *f).unwrap_or(0.0)
+    }
+}
+
+/// Run every benchmark and histogram active-thread counts per issue.
+///
+/// # Errors
+///
+/// Propagates workload and simulator errors; results are validated.
+pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<Fig1Row>, Table), ExperimentError> {
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let w = bench.build(cfg.size)?;
+        let mut c = ActiveThreadCollector::new();
+        let run = w.run_with(&cfg.gpu, &mut c)?;
+        w.check(&run)?;
+        rows.push(Fig1Row {
+            benchmark: bench,
+            fractions: c.histogram().fractions(),
+        });
+    }
+    let labels: Vec<String> = rows[0].fractions.iter().map(|(l, _)| l.clone()).collect();
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(labels.iter().map(|l| format!("{l} (%)")));
+    let mut table = Table::new(headers);
+    for r in &rows {
+        let mut cells = vec![r.benchmark.name().to_string()];
+        cells.extend(r.fractions.iter().map(|(_, f)| format!("{:.1}", 100.0 * f)));
+        table.row(cells);
+    }
+    Ok((rows, table))
+}

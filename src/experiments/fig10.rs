@@ -1,0 +1,75 @@
+//! Paper Fig. 10: end-to-end execution time (kernel + host↔device
+//! transfers) of the five error-detection schemes.
+
+use crate::experiments::{ExperimentConfig, ExperimentError};
+use warped_baselines::{run_scheme, EndToEnd, PcieModel, SchemeKind};
+use warped_core::DmrConfig;
+use warped_kernels::Benchmark;
+use warped_stats::Table;
+
+/// One benchmark's five stacked bars of Fig. 10.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Kernel/transfer breakdown per scheme, in
+    /// [`SchemeKind::ALL`] order.
+    pub schemes: Vec<(SchemeKind, EndToEnd)>,
+}
+
+impl Fig10Row {
+    /// Total time of `kind` normalized to the Original scheme.
+    pub fn normalized(&self, kind: SchemeKind) -> f64 {
+        let orig = self
+            .schemes
+            .iter()
+            .find(|(k, _)| *k == SchemeKind::Original)
+            .map(|(_, e)| e.total_ns())
+            .unwrap_or(1.0);
+        self.schemes
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, e)| e.total_ns() / orig)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Run every benchmark under every scheme.
+///
+/// # Errors
+///
+/// Propagates workload and simulator errors.
+pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<Fig10Row>, Table), ExperimentError> {
+    let pcie = PcieModel::default();
+    let dmr = DmrConfig::default();
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let w = bench.build(cfg.size)?;
+        let mut schemes = Vec::new();
+        for kind in SchemeKind::ALL {
+            let e = run_scheme(kind, &w, &cfg.gpu, &dmr, &pcie)?;
+            schemes.push((kind, e));
+        }
+        rows.push(Fig10Row {
+            benchmark: bench,
+            schemes,
+        });
+    }
+    let mut headers = vec!["benchmark".to_string()];
+    for kind in SchemeKind::ALL {
+        headers.push(format!("{kind} kern(us)"));
+        headers.push(format!("{kind} xfer(us)"));
+    }
+    headers.push("Warped/Orig".to_string());
+    let mut table = Table::new(headers);
+    for r in &rows {
+        let mut cells = vec![r.benchmark.name().to_string()];
+        for (_, e) in &r.schemes {
+            cells.push(format!("{:.1}", e.kernel_ns / 1000.0));
+            cells.push(format!("{:.1}", e.transfer_ns / 1000.0));
+        }
+        cells.push(format!("{:.3}", r.normalized(SchemeKind::WarpedDmr)));
+        table.row(cells);
+    }
+    Ok((rows, table))
+}

@@ -1,0 +1,75 @@
+//! Paper Fig. 11: power and energy of Warped-DMR normalized to the
+//! unprotected baseline.
+
+use crate::experiments::{ExperimentConfig, ExperimentError};
+use warped_core::{DmrConfig, WarpedDmr};
+use warped_kernels::Benchmark;
+use warped_power::{estimate, PowerParams};
+use warped_sim::NullObserver;
+use warped_stats::Table;
+
+/// One benchmark's two bars of Fig. 11.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig11Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Total power with Warped-DMR / without.
+    pub power_ratio: f64,
+    /// Energy with Warped-DMR / without.
+    pub energy_ratio: f64,
+}
+
+/// Run every benchmark with and without Warped-DMR and compare
+/// power/energy.
+///
+/// # Errors
+///
+/// Propagates workload and simulator errors; results are validated.
+pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<Fig11Row>, Table), ExperimentError> {
+    let params = PowerParams::default();
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let w = bench.build(cfg.size)?;
+        let base_run = w.run_with(&cfg.gpu, &mut NullObserver)?;
+        w.check(&base_run)?;
+        let base = estimate(&base_run.stats, &cfg.gpu, &params, None);
+
+        let mut engine = WarpedDmr::new(DmrConfig::default(), &cfg.gpu);
+        let dmr_run = w.run_with(&cfg.gpu, &mut engine)?;
+        let report = engine.report();
+        let with = estimate(&dmr_run.stats, &cfg.gpu, &params, Some(&report));
+
+        rows.push(Fig11Row {
+            benchmark: bench,
+            power_ratio: with.power_ratio(&base),
+            energy_ratio: with.energy_ratio(&base),
+        });
+    }
+    let mut table = Table::new(vec!["benchmark", "power ratio", "energy ratio"]);
+    for r in &rows {
+        table.row(vec![
+            r.benchmark.name().to_string(),
+            format!("{:.3}", r.power_ratio),
+            format!("{:.3}", r.energy_ratio),
+        ]);
+    }
+    let n = rows.len() as f64;
+    table.row(vec![
+        "AVERAGE".to_string(),
+        format!("{:.3}", rows.iter().map(|r| r.power_ratio).sum::<f64>() / n),
+        format!(
+            "{:.3}",
+            rows.iter().map(|r| r.energy_ratio).sum::<f64>() / n
+        ),
+    ]);
+    Ok((rows, table))
+}
+
+/// Average `(power, energy)` ratios — the paper's (1.11, 1.31) pair.
+pub fn averages(rows: &[Fig11Row]) -> (f64, f64) {
+    let n = rows.len().max(1) as f64;
+    (
+        rows.iter().map(|r| r.power_ratio).sum::<f64>() / n,
+        rows.iter().map(|r| r.energy_ratio).sum::<f64>() / n,
+    )
+}

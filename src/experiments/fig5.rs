@@ -1,0 +1,51 @@
+//! Paper Fig. 5: execution-time breakdown by instruction (unit) type.
+
+use crate::experiments::{ExperimentConfig, ExperimentError};
+use warped_isa::UnitType;
+use warped_kernels::Benchmark;
+use warped_sim::collectors::UnitTypeCollector;
+use warped_stats::Table;
+
+/// One benchmark's bar of Fig. 5.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Fraction of instructions on SPs.
+    pub sp: f64,
+    /// Fraction on SFUs.
+    pub sfu: f64,
+    /// Fraction on LD/ST units.
+    pub ldst: f64,
+}
+
+/// Run every benchmark and classify issued instructions by unit.
+///
+/// # Errors
+///
+/// Propagates workload and simulator errors; results are validated.
+pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<Fig5Row>, Table), ExperimentError> {
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let w = bench.build(cfg.size)?;
+        let mut c = UnitTypeCollector::new();
+        let run = w.run_with(&cfg.gpu, &mut c)?;
+        w.check(&run)?;
+        rows.push(Fig5Row {
+            benchmark: bench,
+            sp: c.fraction(UnitType::Sp),
+            sfu: c.fraction(UnitType::Sfu),
+            ldst: c.fraction(UnitType::LdSt),
+        });
+    }
+    let mut table = Table::new(vec!["benchmark", "SP (%)", "SFU (%)", "LD/ST (%)"]);
+    for r in &rows {
+        table.row(vec![
+            r.benchmark.name().to_string(),
+            format!("{:.1}", 100.0 * r.sp),
+            format!("{:.1}", 100.0 * r.sfu),
+            format!("{:.1}", 100.0 * r.ldst),
+        ]);
+    }
+    Ok((rows, table))
+}

@@ -1,0 +1,101 @@
+//! Paper Fig. 9a: error coverage under the three Warped-DMR hardware
+//! configurations (4-lane clusters, 8-lane clusters, 4-lane + cross
+//! thread-core mapping).
+
+use crate::experiments::{ExperimentConfig, ExperimentError};
+use warped_core::{DmrConfig, WarpedDmr};
+use warped_kernels::Benchmark;
+use warped_stats::Table;
+
+/// One benchmark's three bars of Fig. 9a (coverage %).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9aRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// 4-lane SIMT cluster, in-order thread mapping.
+    pub four_lane: f64,
+    /// 8-lane SIMT cluster, in-order thread mapping.
+    pub eight_lane: f64,
+    /// 4-lane cluster with the modified (cross) mapping — the paper's
+    /// proposal.
+    pub cross_mapping: f64,
+    /// Share of the cross-mapping coverage owed to intra-warp DMR.
+    pub intra_share: f64,
+}
+
+/// The three configurations of Fig. 9a.
+pub fn configs() -> [(&'static str, DmrConfig); 3] {
+    [
+        ("4-lane cluster", DmrConfig::baseline_in_order()),
+        ("8-lane cluster", DmrConfig::eight_lane_cluster()),
+        ("cross mapping", DmrConfig::default()),
+    ]
+}
+
+/// Run every benchmark under each configuration and report coverage.
+///
+/// # Errors
+///
+/// Propagates workload and simulator errors; results are validated.
+pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<Fig9aRow>, Table), ExperimentError> {
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let w = bench.build(cfg.size)?;
+        let mut cov = [0.0f64; 3];
+        let mut intra_share = 0.0;
+        for (i, (_, dmr_cfg)) in configs().iter().enumerate() {
+            let mut engine = WarpedDmr::new(dmr_cfg.clone(), &cfg.gpu);
+            let run = w.run_with(&cfg.gpu, &mut engine)?;
+            w.check(&run)?;
+            let report = engine.report();
+            cov[i] = report.coverage_pct();
+            if i == 2 {
+                intra_share = report.intra_share();
+            }
+        }
+        rows.push(Fig9aRow {
+            benchmark: bench,
+            four_lane: cov[0],
+            eight_lane: cov[1],
+            cross_mapping: cov[2],
+            intra_share,
+        });
+    }
+    let mut table = Table::new(vec![
+        "benchmark",
+        "4-lane cluster (%)",
+        "8-lane cluster (%)",
+        "cross mapping (%)",
+        "intra share (%)",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.benchmark.name().to_string(),
+            format!("{:.2}", r.four_lane),
+            format!("{:.2}", r.eight_lane),
+            format!("{:.2}", r.cross_mapping),
+            format!("{:.1}", 100.0 * r.intra_share),
+        ]);
+    }
+    let n = rows.len() as f64;
+    let avg = |f: fn(&Fig9aRow) -> f64| rows.iter().map(f).sum::<f64>() / n;
+    table.row(vec![
+        "AVERAGE".to_string(),
+        format!("{:.2}", avg(|r| r.four_lane)),
+        format!("{:.2}", avg(|r| r.eight_lane)),
+        format!("{:.2}", avg(|r| r.cross_mapping)),
+        format!("{:.1}", 100.0 * avg(|r| r.intra_share)),
+    ]);
+    Ok((rows, table))
+}
+
+/// Average coverage of each configuration across benchmarks
+/// `(4-lane, 8-lane, cross)` — the paper's 89.60 / 91.91 / 96.43 triplet.
+pub fn averages(rows: &[Fig9aRow]) -> (f64, f64, f64) {
+    let n = rows.len().max(1) as f64;
+    (
+        rows.iter().map(|r| r.four_lane).sum::<f64>() / n,
+        rows.iter().map(|r| r.eight_lane).sum::<f64>() / n,
+        rows.iter().map(|r| r.cross_mapping).sum::<f64>() / n,
+    )
+}

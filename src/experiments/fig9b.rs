@@ -1,0 +1,84 @@
+//! Paper Fig. 9b: kernel cycles under Warped-DMR, normalized to the
+//! unprotected baseline, as the ReplayQ size sweeps 0 / 1 / 5 / 10.
+
+use crate::experiments::{ExperimentConfig, ExperimentError};
+use warped_core::{DmrConfig, WarpedDmr};
+use warped_kernels::Benchmark;
+use warped_sim::NullObserver;
+use warped_stats::Table;
+
+/// The ReplayQ sizes of Fig. 9b.
+pub const REPLAYQ_SIZES: [usize; 4] = [0, 1, 5, 10];
+
+/// One benchmark's four bars of Fig. 9b.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9bRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Unprotected kernel cycles.
+    pub base_cycles: u64,
+    /// Normalized cycles for ReplayQ sizes 0, 1, 5, 10.
+    pub normalized: [f64; 4],
+}
+
+impl Fig9bRow {
+    /// Overhead (fraction above 1.0) at the given sweep index.
+    pub fn overhead(&self, idx: usize) -> f64 {
+        self.normalized[idx] - 1.0
+    }
+}
+
+/// Run the sweep.
+///
+/// # Errors
+///
+/// Propagates workload and simulator errors; results are validated.
+pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<Fig9bRow>, Table), ExperimentError> {
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let w = bench.build(cfg.size)?;
+        let base = w.run_with(&cfg.gpu, &mut NullObserver)?;
+        w.check(&base)?;
+        let base_cycles = base.stats.cycles.max(1);
+        let mut normalized = [0.0f64; 4];
+        for (i, q) in REPLAYQ_SIZES.iter().enumerate() {
+            let mut engine = WarpedDmr::new(DmrConfig::default().with_replayq(*q), &cfg.gpu);
+            let run = w.run_with(&cfg.gpu, &mut engine)?;
+            w.check(&run)?;
+            normalized[i] = run.stats.cycles as f64 / base_cycles as f64;
+        }
+        rows.push(Fig9bRow {
+            benchmark: bench,
+            base_cycles,
+            normalized,
+        });
+    }
+    let mut table = Table::new(vec![
+        "benchmark",
+        "base cycles",
+        "Q=0",
+        "Q=1",
+        "Q=5",
+        "Q=10",
+    ]);
+    for r in &rows {
+        let mut cells = vec![r.benchmark.name().to_string(), r.base_cycles.to_string()];
+        cells.extend(r.normalized.iter().map(|n| format!("{n:.3}")));
+        table.row(cells);
+    }
+    let n = rows.len() as f64;
+    let mut avg_cells = vec!["AVERAGE".to_string(), String::new()];
+    for i in 0..4 {
+        let avg = rows.iter().map(|r| r.normalized[i]).sum::<f64>() / n;
+        avg_cells.push(format!("{avg:.3}"));
+    }
+    table.row(avg_cells);
+    Ok((rows, table))
+}
+
+/// Average normalized cycles per ReplayQ size — the paper's
+/// 1.41 / 1.32 / 1.24 / 1.16 series.
+pub fn averages(rows: &[Fig9bRow]) -> [f64; 4] {
+    let n = rows.len().max(1) as f64;
+    std::array::from_fn(|i| rows.iter().map(|r| r.normalized[i]).sum::<f64>() / n)
+}

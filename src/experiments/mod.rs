@@ -1,0 +1,106 @@
+//! Experiment harnesses: one module per table/figure of the paper's
+//! evaluation (see DESIGN.md §5 for the experiment index).
+//!
+//! Every harness returns structured results *and* a rendered
+//! [`Table`](warped_stats::Table) whose rows/series match what the paper
+//! plots. The `warped` CLI prints them; the Criterion benches re-run
+//! them; EXPERIMENTS.md records them.
+
+pub mod ablation;
+pub mod config_tables;
+pub mod coverage_profile;
+pub mod faults_exp;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig5;
+pub mod fig8;
+pub mod fig9a;
+pub mod fig9b;
+
+use std::error::Error;
+use std::fmt;
+use warped_kernels::{CheckError, WorkloadSize};
+use warped_sim::{GpuConfig, SimError};
+
+/// Anything an experiment can fail with.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Kernel assembly failed (a workload bug).
+    Kernel(warped_isa::KernelError),
+    /// The simulator rejected or aborted a run.
+    Sim(SimError),
+    /// A workload produced wrong results.
+    Check(CheckError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Kernel(e) => write!(f, "kernel assembly: {e}"),
+            ExperimentError::Sim(e) => write!(f, "simulation: {e}"),
+            ExperimentError::Check(e) => write!(f, "result validation: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {}
+
+impl From<warped_isa::KernelError> for ExperimentError {
+    fn from(e: warped_isa::KernelError) -> Self {
+        ExperimentError::Kernel(e)
+    }
+}
+
+impl From<SimError> for ExperimentError {
+    fn from(e: SimError) -> Self {
+        ExperimentError::Sim(e)
+    }
+}
+
+impl From<CheckError> for ExperimentError {
+    fn from(e: CheckError) -> Self {
+        ExperimentError::Check(e)
+    }
+}
+
+/// Scale/chip pairing for an experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Workload inputs.
+    pub size: WorkloadSize,
+    /// Simulated chip.
+    pub gpu: GpuConfig,
+}
+
+impl ExperimentConfig {
+    /// Fast setting: small inputs on a 4-SM chip (seconds for the whole
+    /// suite; the shapes already hold).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            size: WorkloadSize::Small,
+            gpu: GpuConfig {
+                num_sms: 4,
+                ..GpuConfig::default()
+            },
+        }
+    }
+
+    /// Figure-quality setting: full inputs on the paper's 30-SM chip
+    /// (paper Table 3).
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            size: WorkloadSize::Full,
+            gpu: GpuConfig::paper(),
+        }
+    }
+
+    /// Test setting: tiny inputs on a 2-SM chip (integration tests and
+    /// Criterion benches).
+    pub fn test_tiny() -> Self {
+        ExperimentConfig {
+            size: WorkloadSize::Tiny,
+            gpu: GpuConfig::small(),
+        }
+    }
+}

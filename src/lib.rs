@@ -1,0 +1,46 @@
+//! # warped
+//!
+//! Facade crate for the Warped-DMR reproduction (Jeon & Annavaram,
+//! *Warped-DMR: Light-weight Error Detection for GPGPU*, MICRO 2012).
+//!
+//! This crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`isa`] — instruction set and kernel IR ([`warped_isa`])
+//! * [`sim`] — the cycle-level SIMT GPU simulator ([`warped_sim`])
+//! * [`kernels`] — the 11 benchmark workloads of the paper ([`warped_kernels`])
+//! * [`dmr`] — the paper's contribution: intra-/inter-warp DMR ([`warped_core`])
+//! * [`faults`] — fault-injection campaigns ([`warped_faults`])
+//! * [`baselines`] — R-Naive / R-Thread / DMTR comparison schemes
+//!   ([`warped_baselines`])
+//! * [`power`] — the analytical power/energy model ([`warped_power`])
+//! * [`stats`] — histograms and distance trackers ([`warped_stats`])
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use warped::kernels::{Benchmark, WorkloadSize};
+//! use warped::dmr::{DmrConfig, WarpedDmr};
+//! use warped::sim::GpuConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build the Scan workload at a tiny size and run it under Warped-DMR.
+//! let workload = Benchmark::Scan.build(WorkloadSize::Tiny)?;
+//! let mut dmr = WarpedDmr::new(DmrConfig::default(), &GpuConfig::small());
+//! let run = workload.run_with(&GpuConfig::small(), &mut dmr)?;
+//! workload.check(&run)?;
+//! let report = dmr.report();
+//! assert!(report.coverage_pct() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod experiments;
+
+pub use warped_baselines as baselines;
+pub use warped_core as dmr;
+pub use warped_faults as faults;
+pub use warped_isa as isa;
+pub use warped_kernels as kernels;
+pub use warped_power as power;
+pub use warped_sim as sim;
+pub use warped_stats as stats;

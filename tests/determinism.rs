@@ -1,0 +1,67 @@
+//! The simulator must be bit-deterministic: identical configurations give
+//! identical cycle counts, statistics, and outputs — the property every
+//! experiment and the fault campaigns rely on.
+
+use warped::dmr::{DmrConfig, WarpedDmr};
+use warped::kernels::{Benchmark, WorkloadSize};
+use warped::sim::{GpuConfig, NullObserver};
+
+#[test]
+fn unprotected_runs_are_reproducible() {
+    for bench in [Benchmark::MatrixMul, Benchmark::Bfs, Benchmark::RadixSort] {
+        let w = bench.build(WorkloadSize::Tiny).unwrap();
+        let a = w.run_with(&GpuConfig::small(), &mut NullObserver).unwrap();
+        let b = w.run_with(&GpuConfig::small(), &mut NullObserver).unwrap();
+        assert_eq!(a.stats, b.stats, "{bench} stats diverged");
+        assert_eq!(a.output, b.output, "{bench} output diverged");
+    }
+}
+
+#[test]
+fn protected_runs_are_reproducible_including_reports() {
+    let w = Benchmark::Scan.build(WorkloadSize::Tiny).unwrap();
+    let run = |_| {
+        let mut engine = WarpedDmr::new(DmrConfig::default(), &GpuConfig::small());
+        let r = w.run_with(&GpuConfig::small(), &mut engine).unwrap();
+        (r.stats.cycles, engine.report())
+    };
+    let (c1, r1) = run(());
+    let (c2, r2) = run(());
+    assert_eq!(c1, c2);
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn workload_builds_are_seed_stable() {
+    // Rebuilding a workload yields identical inputs (hence identical
+    // simulations) — the basis for cross-run comparisons.
+    let a = Benchmark::Mum.build(WorkloadSize::Tiny).unwrap();
+    let b = Benchmark::Mum.build(WorkloadSize::Tiny).unwrap();
+    let ra = a.run_with(&GpuConfig::small(), &mut NullObserver).unwrap();
+    let rb = b.run_with(&GpuConfig::small(), &mut NullObserver).unwrap();
+    assert_eq!(ra.output, rb.output);
+    assert_eq!(ra.stats.cycles, rb.stats.cycles);
+}
+
+#[test]
+fn chip_size_changes_time_not_results() {
+    let w = Benchmark::Laplace.build(WorkloadSize::Tiny).unwrap();
+    let small = w.run_with(&GpuConfig::small(), &mut NullObserver).unwrap();
+    let big = w
+        .run_with(
+            &GpuConfig {
+                num_sms: 8,
+                ..GpuConfig::small()
+            },
+            &mut NullObserver,
+        )
+        .unwrap();
+    assert_eq!(
+        small.output, big.output,
+        "results must not depend on chip size"
+    );
+    assert!(
+        big.stats.cycles <= small.stats.cycles,
+        "more SMs cannot be slower"
+    );
+}

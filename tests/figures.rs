@@ -1,0 +1,207 @@
+//! Integration: each figure harness produces structurally sane series —
+//! fractions sum to one, averages sit in the paper's orderings, schemes
+//! rank as §5.3 reports.
+
+use warped::baselines::SchemeKind;
+use warped::experiments::{
+    config_tables, fig1, fig10, fig11, fig5, fig8, fig9a, fig9b, ExperimentConfig,
+};
+use warped::kernels::Benchmark;
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig::test_tiny()
+}
+
+#[test]
+fn fig1_fractions_sum_to_one_per_benchmark() {
+    let (rows, table) = fig1::run(&cfg()).unwrap();
+    assert_eq!(rows.len(), Benchmark::ALL.len());
+    assert_eq!(table.len(), rows.len());
+    for r in &rows {
+        let sum: f64 = r.fractions.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{}: sum {sum}", r.benchmark);
+    }
+    // The headline contrasts.
+    let get = |b: Benchmark| {
+        rows.iter()
+            .find(|r| r.benchmark == b)
+            .unwrap()
+            .full_fraction()
+    };
+    assert!(get(Benchmark::MatrixMul) > 0.99);
+    assert!(get(Benchmark::Bfs) < 0.5, "BFS must be underutilized");
+    assert!(get(Benchmark::BitonicSort) < 0.6);
+}
+
+#[test]
+fn fig5_unit_mix_sums_to_one_and_shapes_hold() {
+    let (rows, _) = fig5::run(&cfg()).unwrap();
+    for r in &rows {
+        assert!(
+            (r.sp + r.sfu + r.ldst - 1.0).abs() < 1e-9,
+            "{}",
+            r.benchmark
+        );
+    }
+    let get = |b: Benchmark| rows.iter().find(|r| r.benchmark == b).unwrap();
+    assert!(get(Benchmark::Sha).sp > 0.5, "SHA is SP-dominated");
+    assert!(
+        get(Benchmark::Sha).ldst > 0.1,
+        "SHA's W[] window lives in memory"
+    );
+    assert!(get(Benchmark::Libor).sfu > 0.02, "Libor uses the SFU");
+    assert!(
+        get(Benchmark::Fft).sfu > 0.015,
+        "FFT computes twiddles on SFU"
+    );
+    assert!(get(Benchmark::Bfs).ldst > 0.1, "BFS chases pointers");
+}
+
+#[test]
+fn fig8a_switch_distances_are_bounded() {
+    let (rows, _) = fig8::run_switch_distances(&cfg()).unwrap();
+    for r in &rows {
+        for d in [r.sp, r.sfu, r.ldst].into_iter().flatten() {
+            assert!(d >= 1.0, "{}: run shorter than a cycle", r.benchmark);
+            assert!(d < 5000.0, "{}: implausible run {d}", r.benchmark);
+        }
+        assert!(
+            r.sp.is_some(),
+            "{}: every kernel issues SP work",
+            r.benchmark
+        );
+    }
+}
+
+#[test]
+fn fig8b_raw_distances_respect_pipeline_floor() {
+    let (rows, _) = fig8::run_raw_distances(&cfg()).unwrap();
+    for r in &rows {
+        let min = r
+            .min
+            .unwrap_or_else(|| panic!("{}: no RAW deps", r.benchmark));
+        assert!(min >= 8, "{}: RAW below the 8-cycle floor", r.benchmark);
+        assert!((0.0..=1.0).contains(&r.frac_over_100));
+    }
+    // Long-distance dependencies exist somewhere (paper: "almost half of
+    // the registers have greater than 100 cycles of distance").
+    assert!(rows.iter().any(|r| r.frac_over_100 > 0.05));
+}
+
+#[test]
+fn fig9a_configuration_ordering_holds_on_average() {
+    let (rows, _) = fig9a::run(&cfg()).unwrap();
+    let (four, eight, cross) = fig9a::averages(&rows);
+    assert!(
+        four <= eight + 1e-9,
+        "8-lane clusters pair at least as well"
+    );
+    assert!(four < cross, "cross mapping must beat the baseline");
+    for r in &rows {
+        for v in [r.four_lane, r.eight_lane, r.cross_mapping] {
+            assert!((0.0..=100.0 + 1e-9).contains(&v), "{}", r.benchmark);
+        }
+    }
+}
+
+#[test]
+fn fig9b_overhead_decreases_with_queue_size_on_average() {
+    let (rows, _) = fig9b::run(&cfg()).unwrap();
+    let avg = fig9b::averages(&rows);
+    assert!(
+        avg[0] >= avg[3],
+        "Q=0 average {} must be the most expensive (Q=10 {})",
+        avg[0],
+        avg[3]
+    );
+    assert!(
+        avg[3] < 1.7,
+        "Q=10 average overhead implausibly high: {}",
+        avg[3]
+    );
+    for r in &rows {
+        for v in r.normalized {
+            assert!(v > 0.5 && v < 3.5, "{}: normalized {v}", r.benchmark);
+        }
+    }
+}
+
+#[test]
+fn fig10_scheme_ranking_matches_the_paper() {
+    let (rows, _) = fig10::run(&cfg()).unwrap();
+    for r in &rows {
+        let naive = r.normalized(SchemeKind::RNaive);
+        let warped = r.normalized(SchemeKind::WarpedDmr);
+        let dmtr = r.normalized(SchemeKind::Dmtr);
+        assert!(
+            naive >= warped,
+            "{}: R-Naive {naive} cheaper than Warped-DMR {warped}",
+            r.benchmark
+        );
+        assert!(
+            warped <= dmtr + 1e-9,
+            "{}: Warped-DMR {warped} above DMTR {dmtr}",
+            r.benchmark
+        );
+        // DMR stalls perturb warp interleaving; tiny divergence-heavy
+        // runs can jitter a hair below 1.0.
+        assert!(
+            warped >= 0.95,
+            "{}: {warped} far below unprotected",
+            r.benchmark
+        );
+    }
+}
+
+#[test]
+fn fig11_ratios_are_plausible() {
+    let (rows, _) = fig11::run(&cfg()).unwrap();
+    let (p, e) = fig11::averages(&rows);
+    assert!(p > 0.9 && p < 1.6, "average power ratio {p}");
+    assert!(e > 1.0 && e < 2.5, "average energy ratio {e}");
+    assert!(e >= p * 0.999, "energy ratio embeds the time stretch");
+}
+
+#[test]
+fn coverage_profile_matches_section_33_theory() {
+    use warped::experiments::coverage_profile::{self, theoretical_intra_coverage};
+    // Closed-form checks of the paper's coverage formula.
+    assert_eq!(theoretical_intra_coverage(0), 0.0);
+    assert_eq!(theoretical_intra_coverage(8), 1.0);
+    assert_eq!(theoretical_intra_coverage(16), 1.0);
+    assert!((theoretical_intra_coverage(24) - 8.0 / 24.0).abs() < 1e-12);
+    assert!((theoretical_intra_coverage(32) - 0.0).abs() < 1e-12);
+
+    let (rows, _) = coverage_profile::run(&cfg()).unwrap();
+    for r in &rows {
+        // Fully-utilized warps are always 100% covered (inter-warp DMR).
+        if let Some(full) = r.per_bucket[4] {
+            assert!((full - 100.0).abs() < 1e-9, "{}: bucket 32", r.benchmark);
+        }
+        // Single-thread warps are always coverable (three idle mates).
+        if let Some(one) = r.per_bucket[0] {
+            assert!((one - 100.0).abs() < 1e-9, "{}: bucket 1", r.benchmark);
+        }
+        // The high-utilization partial bucket is where losses live:
+        // never *better* than the ≤ half-warp buckets by construction.
+        if let (Some(hi), Some(lo)) = (r.per_bucket[3], r.per_bucket[1]) {
+            assert!(
+                hi <= lo + 1e-9,
+                "{}: 22-31 ({hi}) > 2-11 ({lo})",
+                r.benchmark
+            );
+        }
+    }
+}
+
+#[test]
+fn config_tables_render() {
+    let t1 = config_tables::table1();
+    let text = t1.render();
+    // Spot-check the paper's Table 1 entries.
+    assert!(text.contains("1st"));
+    let t3 = config_tables::table3(&cfg().gpu);
+    assert!(t3.render().contains("Warp Size"));
+    let t4 = config_tables::table4();
+    assert_eq!(t4.len(), Benchmark::ALL.len());
+}

@@ -1,0 +1,144 @@
+//! Integration: every benchmark runs correctly under every protection
+//! scheme, and the coverage/overhead relationships the paper reports hold
+//! end to end.
+
+use warped::baselines::Dmtr;
+use warped::dmr::{DmrConfig, ThreadCoreMapping, WarpedDmr};
+use warped::kernels::{Benchmark, WorkloadSize};
+use warped::sim::{GpuConfig, NullObserver};
+
+fn gpu() -> GpuConfig {
+    GpuConfig::small()
+}
+
+#[test]
+fn all_benchmarks_validate_unprotected() {
+    for bench in Benchmark::ALL {
+        let w = bench.build(WorkloadSize::Tiny).unwrap();
+        let run = w.run_with(&gpu(), &mut NullObserver).unwrap();
+        w.check(&run)
+            .unwrap_or_else(|e| panic!("{bench} failed validation: {e}"));
+        assert!(run.stats.cycles > 0, "{bench} reported zero cycles");
+        assert!(run.stats.warp_instructions > 0);
+    }
+}
+
+#[test]
+fn all_benchmarks_validate_under_warped_dmr() {
+    for bench in Benchmark::ALL {
+        let w = bench.build(WorkloadSize::Tiny).unwrap();
+        let mut engine = WarpedDmr::new(DmrConfig::default(), &gpu());
+        let run = w.run_with(&gpu(), &mut engine).unwrap();
+        w.check(&run)
+            .unwrap_or_else(|e| panic!("{bench} corrupted by DMR observer: {e}"));
+        let r = engine.report();
+        // Tiny CUFFT (24-thread blocks, no full warps) bottoms out near
+        // 45% — everything else sits far higher.
+        assert!(
+            r.coverage_pct() > 30.0 && r.coverage_pct() <= 100.0,
+            "{bench}: implausible coverage {:.2}%",
+            r.coverage_pct()
+        );
+        assert_eq!(r.errors_detected, 0, "{bench}: healthy run flagged errors");
+    }
+}
+
+#[test]
+fn all_benchmarks_validate_under_dmtr() {
+    for bench in Benchmark::ALL {
+        let w = bench.build(WorkloadSize::Tiny).unwrap();
+        let mut engine = Dmtr::new();
+        let run = w.run_with(&gpu(), &mut engine).unwrap();
+        w.check(&run)
+            .unwrap_or_else(|e| panic!("{bench} corrupted by DMTR observer: {e}"));
+        assert!(
+            (engine.stats.coverage_pct() - 100.0).abs() < 1e-9,
+            "{bench}: DMTR must verify everything"
+        );
+    }
+}
+
+#[test]
+fn dmr_observers_never_change_cycle_free_results() {
+    // The observer may stretch time but the architectural output must be
+    // bit-identical with and without it.
+    for bench in [Benchmark::Sha, Benchmark::BitonicSort, Benchmark::Bfs] {
+        let w = bench.build(WorkloadSize::Tiny).unwrap();
+        let base = w.run_with(&gpu(), &mut NullObserver).unwrap();
+        let mut engine = WarpedDmr::new(DmrConfig::default(), &gpu());
+        let protected = w.run_with(&gpu(), &mut engine).unwrap();
+        assert_eq!(base.output, protected.output, "{bench} output changed");
+        assert!(protected.stats.cycles >= base.stats.cycles * 9 / 10);
+    }
+}
+
+#[test]
+fn warped_dmr_is_cheaper_than_dmtr_on_every_benchmark() {
+    for bench in Benchmark::ALL {
+        let w = bench.build(WorkloadSize::Tiny).unwrap();
+        let mut wd = WarpedDmr::new(DmrConfig::default(), &gpu());
+        let warped = w.run_with(&gpu(), &mut wd).unwrap().stats.cycles;
+        let mut dt = Dmtr::new();
+        let dmtr = w.run_with(&gpu(), &mut dt).unwrap().stats.cycles;
+        assert!(
+            warped <= dmtr,
+            "{bench}: Warped-DMR ({warped}) costs more than DMTR ({dmtr})"
+        );
+    }
+}
+
+#[test]
+fn coverage_shapes_match_the_paper() {
+    let run_cov = |bench: Benchmark, cfg: DmrConfig| -> f64 {
+        let w = bench.build(WorkloadSize::Tiny).unwrap();
+        let mut engine = WarpedDmr::new(cfg, &gpu());
+        let run = w.run_with(&gpu(), &mut engine).unwrap();
+        w.check(&run).unwrap();
+        engine.report().coverage_pct()
+    };
+    // Fully parallel kernels: 100% inter-warp coverage.
+    for bench in [Benchmark::MatrixMul, Benchmark::Sha, Benchmark::Libor] {
+        assert!((run_cov(bench, DmrConfig::default()) - 100.0).abs() < 1e-9);
+    }
+    // BFS: intra-warp handles nearly everything.
+    assert!(run_cov(Benchmark::Bfs, DmrConfig::default()) > 99.0);
+    // CUFFT: the lowest coverage of the suite (paper Fig. 9a).
+    let fft = run_cov(Benchmark::Fft, DmrConfig::default());
+    for bench in [Benchmark::Bfs, Benchmark::MatrixMul, Benchmark::Scan] {
+        assert!(fft < run_cov(bench, DmrConfig::default()));
+    }
+    // Cross mapping >= in-order on the contiguous-divergence benchmarks.
+    let cross = run_cov(Benchmark::Fft, DmrConfig::default());
+    let in_order = run_cov(Benchmark::Fft, DmrConfig::baseline_in_order());
+    assert!(cross > in_order, "cross {cross} <= in-order {in_order}");
+}
+
+#[test]
+fn replayq_sweep_is_monotone_on_burst_heavy_kernels() {
+    // SHA's long SP bursts make it the clean ReplayQ stress (Fig. 8a/9b).
+    let w = Benchmark::Sha.build(WorkloadSize::Tiny).unwrap();
+    let mut cycles = Vec::new();
+    for q in [0usize, 1, 5, 10] {
+        let mut engine = WarpedDmr::new(DmrConfig::default().with_replayq(q), &gpu());
+        cycles.push(w.run_with(&gpu(), &mut engine).unwrap().stats.cycles);
+    }
+    assert!(
+        cycles.windows(2).all(|w| w[0] >= w[1]),
+        "cycles must not increase with queue size: {cycles:?}"
+    );
+    assert!(cycles[0] > cycles[3], "queue must help SHA: {cycles:?}");
+}
+
+#[test]
+fn mapping_ablation_runs_both_ways() {
+    for mapping in [ThreadCoreMapping::InOrder, ThreadCoreMapping::CrossCluster] {
+        let cfg = DmrConfig {
+            mapping,
+            ..DmrConfig::default()
+        };
+        let w = Benchmark::Scan.build(WorkloadSize::Tiny).unwrap();
+        let mut engine = WarpedDmr::new(cfg, &gpu());
+        let run = w.run_with(&gpu(), &mut engine).unwrap();
+        w.check(&run).unwrap();
+    }
+}

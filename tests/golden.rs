@@ -1,0 +1,54 @@
+//! Golden regression values. The simulator is bit-deterministic, so
+//! exact cycle counts and coverage figures at Tiny scale act as a tight
+//! regression net: an unintended change to scheduling, the SIMT stack,
+//! the scoreboard, or Algorithm 1 moves these numbers.
+//!
+//! If a change *intentionally* alters timing or pairing behaviour,
+//! regenerate with:
+//! `cargo test --test golden -- --nocapture` (failures print actuals).
+
+use warped::dmr::{DmrConfig, WarpedDmr};
+use warped::kernels::{Benchmark, WorkloadSize};
+use warped::sim::{GpuConfig, NullObserver};
+
+fn measure(bench: Benchmark) -> (u64, u64, f64) {
+    let gpu = GpuConfig::small();
+    let w = bench.build(WorkloadSize::Tiny).unwrap();
+    let base = w.run_with(&gpu, &mut NullObserver).unwrap();
+    let mut engine = WarpedDmr::new(DmrConfig::default(), &gpu);
+    let dmr = w.run_with(&gpu, &mut engine).unwrap();
+    (
+        base.stats.cycles,
+        dmr.stats.cycles,
+        engine.report().coverage_pct(),
+    )
+}
+
+#[test]
+fn golden_cycles_and_coverage() {
+    // (benchmark, baseline cycles, DMR cycles, coverage %)
+    let expected: &[(Benchmark, u64, u64, f64)] = &[
+        // SCAN/SHA at Tiny leave enough idle slots that inter-warp DMR
+        // verifies entirely for free; MatrixMul pays its ReplayQ stalls.
+        (Benchmark::Scan, 2031, 2031, 100.0),
+        (Benchmark::MatrixMul, 3099, 3977, 100.0),
+        (Benchmark::Sha, 15728, 15728, 100.0),
+    ];
+    for (bench, base, dmr, cov) in expected {
+        let (got_base, got_dmr, got_cov) = measure(*bench);
+        assert_eq!(
+            got_base, *base,
+            "{bench}: baseline cycles moved (got {got_base}); \
+             timing behaviour changed"
+        );
+        assert_eq!(
+            got_dmr, *dmr,
+            "{bench}: DMR cycles moved (got {got_dmr}); \
+             Algorithm 1 / stall behaviour changed"
+        );
+        assert!(
+            (got_cov - cov).abs() < 1e-9,
+            "{bench}: coverage moved (got {got_cov}); pairing changed"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Validation at the `Small` workload scale (the `--quick` experiment
+//! scale). Heavier than the default suite, so these run with
+//! `cargo test -- --ignored` (CI-nightly material); the Tiny-scale
+//! equivalents run on every `cargo test`.
+
+use warped::dmr::{DmrConfig, WarpedDmr};
+use warped::kernels::{Benchmark, WorkloadSize};
+use warped::sim::GpuConfig;
+
+#[test]
+#[ignore = "Small-scale sweep; run with --ignored (seconds per benchmark in debug)"]
+fn all_benchmarks_validate_at_small_scale_under_dmr() {
+    let gpu = GpuConfig {
+        num_sms: 4,
+        ..GpuConfig::default()
+    };
+    for bench in Benchmark::ALL {
+        let w = bench.build(WorkloadSize::Small).unwrap();
+        let mut engine = WarpedDmr::new(DmrConfig::default(), &gpu);
+        let run = w.run_with(&gpu, &mut engine).unwrap();
+        w.check(&run)
+            .unwrap_or_else(|e| panic!("{bench} failed at Small: {e}"));
+        let r = engine.report();
+        assert!(
+            r.coverage_pct() > 40.0,
+            "{bench}: coverage {:.2}%",
+            r.coverage_pct()
+        );
+    }
+}
+
+#[test]
+#[ignore = "Full-scale spot check; run with --ignored"]
+fn spot_check_full_scale_on_paper_chip() {
+    let gpu = GpuConfig::paper();
+    for bench in [Benchmark::MatrixMul, Benchmark::Bfs, Benchmark::Fft] {
+        let w = bench.build(WorkloadSize::Full).unwrap();
+        let mut engine = WarpedDmr::new(DmrConfig::default(), &gpu);
+        let run = w.run_with(&gpu, &mut engine).unwrap();
+        w.check(&run)
+            .unwrap_or_else(|e| panic!("{bench} failed at Full: {e}"));
+    }
+}
