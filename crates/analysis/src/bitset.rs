@@ -1,0 +1,129 @@
+//! Fixed-width bit sets for the dataflow solvers.
+
+/// A set over `0..len`, stored as 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// The empty set over `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set over `0..len` (the ⊤ element of must-analyses).
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(w) = s.words.last_mut() {
+                *w &= (1u64 << tail) - 1;
+            }
+        }
+        s
+    }
+
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        let fresh = *w & bit == 0;
+        *w |= bit;
+        fresh
+    }
+
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; reports whether `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self &= other`; reports whether `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self -= other` (set difference).
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Ascending members.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.contains(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "second insert is not fresh");
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        s.remove(129);
+        assert!(!s.contains(129));
+    }
+
+    #[test]
+    fn full_masks_the_tail_word() {
+        let s = BitSet::full(70);
+        assert_eq!(s.iter().count(), 70);
+        assert!(s.contains(69));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(10);
+        a.insert(1);
+        a.insert(3);
+        let mut b = BitSet::new(10);
+        b.insert(3);
+        b.insert(5);
+        assert!(a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert!(!a.union_with(&b), "no change the second time");
+        assert!(a.intersect_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 5]);
+        a.subtract(&b);
+        assert_eq!(a.iter().count(), 0);
+    }
+}

@@ -1,0 +1,459 @@
+//! Control-flow graph construction and structural lints.
+//!
+//! Basic blocks are split at branch targets, reconvergence points, and the
+//! instructions after control transfers, so every block is single-entry
+//! straight-line code ending in at most one control transfer.
+
+use crate::bitset::BitSet;
+use crate::diag::StructuralLint;
+use std::collections::BTreeSet;
+use warped_isa::{Instruction, Kernel, Pc};
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Conditional branch: taken edge to `target`, fall-through edge to
+    /// the next instruction; `reconv` is metadata, not an edge.
+    Branch {
+        /// Taken-path target.
+        target: Pc,
+        /// Declared reconvergence point.
+        reconv: Pc,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Jump target.
+        target: Pc,
+    },
+    /// The warp exits.
+    Exit,
+    /// The block ends because the next instruction is a leader.
+    FallThrough,
+    /// Execution would run past the last instruction (a structural bug).
+    FallsOff,
+}
+
+/// A maximal straight-line instruction run.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Block id (index into [`Cfg::blocks`]).
+    pub id: usize,
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// How the block ends.
+    pub terminator: Terminator,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// First instruction as a [`Pc`].
+    pub fn start_pc(&self) -> Pc {
+        Pc(self.start as u32)
+    }
+
+    /// Last instruction as a [`Pc`].
+    pub fn last_pc(&self) -> Pc {
+        Pc((self.end - 1) as u32)
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the block holds no instructions (never true: blocks are
+    /// built from non-empty leader ranges).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The control-flow graph of one kernel.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    block_of: Vec<usize>,
+    reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Build the CFG of a validated kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty kernel ([`Kernel::validate`] rejects those).
+    pub fn build(kernel: &Kernel) -> Cfg {
+        let code = kernel.code();
+        assert!(!code.is_empty(), "cannot build a CFG for empty code");
+        let len = code.len();
+
+        // Leaders: entry, every control-transfer target and reconvergence
+        // point, and every instruction after a control transfer.
+        let mut leaders: BTreeSet<usize> = BTreeSet::new();
+        leaders.insert(0);
+        for (i, instr) in code.iter().enumerate() {
+            match *instr {
+                Instruction::Branch { target, reconv, .. } => {
+                    leaders.insert(target.index());
+                    leaders.insert(reconv.index());
+                    if i + 1 < len {
+                        leaders.insert(i + 1);
+                    }
+                }
+                Instruction::Jump { target } => {
+                    leaders.insert(target.index());
+                    if i + 1 < len {
+                        leaders.insert(i + 1);
+                    }
+                }
+                Instruction::Exit if i + 1 < len => {
+                    leaders.insert(i + 1);
+                }
+                _ => {}
+            }
+        }
+
+        let starts: Vec<usize> = leaders.into_iter().collect();
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(starts.len());
+        let mut block_of = vec![0usize; len];
+        for (id, &start) in starts.iter().enumerate() {
+            let end = starts.get(id + 1).copied().unwrap_or(len);
+            for slot in &mut block_of[start..end] {
+                *slot = id;
+            }
+            let terminator = match code[end - 1] {
+                Instruction::Branch { target, reconv, .. } => Terminator::Branch { target, reconv },
+                Instruction::Jump { target } => Terminator::Jump { target },
+                Instruction::Exit => Terminator::Exit,
+                _ if end < len => Terminator::FallThrough,
+                _ => Terminator::FallsOff,
+            };
+            blocks.push(BasicBlock {
+                id,
+                start,
+                end,
+                terminator,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
+        }
+
+        // Edges. A branch whose fall-through leaves the code keeps only
+        // its taken edge; the missing edge surfaces as a FallsOffEnd lint.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for b in &blocks {
+            match b.terminator {
+                Terminator::Branch { target, .. } => {
+                    edges.push((b.id, block_of[target.index()]));
+                    if b.end < len {
+                        edges.push((b.id, block_of[b.end]));
+                    }
+                }
+                Terminator::Jump { target } => edges.push((b.id, block_of[target.index()])),
+                Terminator::FallThrough => edges.push((b.id, block_of[b.end])),
+                Terminator::Exit | Terminator::FallsOff => {}
+            }
+        }
+        for (from, to) in edges {
+            if !blocks[from].succs.contains(&to) {
+                blocks[from].succs.push(to);
+            }
+            if !blocks[to].preds.contains(&from) {
+                blocks[to].preds.push(from);
+            }
+        }
+
+        // Forward reachability from the entry block.
+        let mut reachable = vec![false; blocks.len()];
+        let mut stack = vec![0usize];
+        reachable[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &blocks[b].succs {
+                if !reachable[s] {
+                    reachable[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+
+        Cfg {
+            blocks,
+            block_of,
+            reachable,
+        }
+    }
+
+    /// All basic blocks, in code order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block containing `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is past the end of the code.
+    pub fn block_of(&self, pc: Pc) -> usize {
+        self.block_of[pc.index()]
+    }
+
+    /// Whether any path from the entry reaches `block`.
+    pub fn is_reachable(&self, block: usize) -> bool {
+        self.reachable[block]
+    }
+
+    /// Post-dominator sets, one per block, over a virtual exit node that
+    /// every terminating block (Exit or falls-off) feeds into.
+    pub(crate) fn postdominators(&self) -> Vec<BitSet> {
+        let n = self.blocks.len();
+        // Index n is the virtual exit.
+        let mut pdom: Vec<BitSet> = (0..n).map(|_| BitSet::full(n + 1)).collect();
+        pdom.push(BitSet::new(n + 1));
+        pdom[n].insert(n);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                let mut meet: Option<BitSet> = None;
+                let terminating = matches!(
+                    self.blocks[b].terminator,
+                    Terminator::Exit | Terminator::FallsOff
+                );
+                let virtual_succ = terminating.then_some(n);
+                for s in self.blocks[b].succs.iter().copied().chain(virtual_succ) {
+                    match &mut meet {
+                        None => meet = Some(pdom[s].clone()),
+                        Some(m) => {
+                            m.intersect_with(&pdom[s]);
+                        }
+                    }
+                }
+                let mut next = meet.unwrap_or_else(|| BitSet::full(n + 1));
+                next.insert(b);
+                if next != pdom[b] {
+                    pdom[b] = next;
+                    changed = true;
+                }
+            }
+        }
+        pdom
+    }
+
+    /// Run every structural lint over the CFG.
+    pub fn lints(&self) -> Vec<StructuralLint> {
+        let mut out = Vec::new();
+        let n = self.blocks.len();
+
+        for b in &self.blocks {
+            if !self.reachable[b.id] {
+                out.push(StructuralLint::Unreachable {
+                    block: b.id,
+                    start: b.start_pc(),
+                });
+            }
+        }
+        for b in &self.blocks {
+            if self.reachable[b.id] && b.terminator == Terminator::FallsOff {
+                out.push(StructuralLint::FallsOffEnd {
+                    block: b.id,
+                    last: b.last_pc(),
+                });
+            }
+            // A branch as the very last instruction: its untaken path
+            // leaves the code, which the FallsOff terminator above cannot
+            // catch (the block still ends in a Branch).
+            if self.reachable[b.id]
+                && matches!(b.terminator, Terminator::Branch { .. })
+                && b.end == self.block_of.len()
+            {
+                out.push(StructuralLint::FallsOffEnd {
+                    block: b.id,
+                    last: b.last_pc(),
+                });
+            }
+        }
+
+        // Reconvergence points must post-dominate their branch: every
+        // path the branch can take must pass the reconvergence PC, or
+        // diverged lanes wait there forever.
+        let pdom = self.postdominators();
+        for b in &self.blocks {
+            if !self.reachable[b.id] {
+                continue;
+            }
+            if let Terminator::Branch { reconv, .. } = b.terminator {
+                let rb = self.block_of[reconv.index()];
+                // reconv is a leader by construction, so rb starts at it;
+                // it post-dominates the branch iff it post-dominates every
+                // successor the branch can take.
+                let dominates_all_paths =
+                    !b.succs.is_empty() && b.succs.iter().all(|&s| pdom[s].contains(rb));
+                if !dominates_all_paths {
+                    out.push(StructuralLint::ReconvNotPostDominator {
+                        branch: b.last_pc(),
+                        reconv,
+                    });
+                }
+            }
+        }
+
+        // Infinite loops: reachable regions with no path to termination.
+        // Report only the entry blocks of such regions to keep the lint
+        // one-per-loop rather than one-per-block.
+        let mut can_terminate = vec![false; n];
+        let mut stack: Vec<usize> = (0..n)
+            .filter(|&b| {
+                matches!(
+                    self.blocks[b].terminator,
+                    Terminator::Exit | Terminator::FallsOff
+                )
+            })
+            .collect();
+        for &b in &stack {
+            can_terminate[b] = true;
+        }
+        while let Some(b) = stack.pop() {
+            for &p in &self.blocks[b].preds {
+                if !can_terminate[p] {
+                    can_terminate[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        for b in &self.blocks {
+            if !self.reachable[b.id] || can_terminate[b.id] {
+                continue;
+            }
+            let is_region_entry = b.id == 0
+                || b.preds
+                    .iter()
+                    .any(|&p| self.reachable[p] && can_terminate[p]);
+            if is_region_entry {
+                out.push(StructuralLint::InfiniteLoop {
+                    block: b.id,
+                    start: b.start_pc(),
+                });
+            }
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_isa::{AluBinOp, Operand, Reg};
+
+    fn add(dst: u16) -> Instruction {
+        Instruction::Bin {
+            op: AluBinOp::IAdd,
+            dst: Reg(dst),
+            a: Operand::Imm(1),
+            b: Operand::Imm(2),
+        }
+    }
+
+    fn branch(target: u32, reconv: u32) -> Instruction {
+        Instruction::Branch {
+            pred: Reg(0),
+            negate: false,
+            target: Pc(target),
+            reconv: Pc(reconv),
+        }
+    }
+
+    fn kernel(code: Vec<Instruction>) -> Kernel {
+        Kernel::new("t", code, 8, 0).unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let k = kernel(vec![add(0), add(1), Instruction::Exit]);
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].terminator, Terminator::Exit);
+        assert!(cfg.blocks()[0].succs.is_empty());
+        assert!(cfg.lints().is_empty());
+    }
+
+    #[test]
+    fn diamond_splits_into_four_blocks() {
+        // 0: branch ->2 (reconv 3); 1: then; 2: else; 3: exit
+        let k = kernel(vec![branch(2, 3), add(0), add(1), Instruction::Exit]);
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.blocks().len(), 4);
+        assert_eq!(cfg.blocks()[0].succs.len(), 2);
+        assert_eq!(cfg.block_of(Pc(3)), 3);
+        assert!((0..4).all(|b| cfg.is_reachable(b)));
+        assert!(cfg.lints().is_empty(), "well-formed diamond has no lints");
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged() {
+        // 0: jump ->2; 1: dead add; 2: exit
+        let k = kernel(vec![
+            Instruction::Jump { target: Pc(2) },
+            add(0),
+            Instruction::Exit,
+        ]);
+        let cfg = Cfg::build(&k);
+        let lints = cfg.lints();
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, StructuralLint::Unreachable { start, .. } if *start == Pc(1))));
+    }
+
+    #[test]
+    fn bad_reconv_is_flagged() {
+        // Reconv points into the then-side (1), which the taken edge (->2)
+        // skips entirely: not a post-dominator.
+        let k = kernel(vec![branch(2, 1), add(0), add(1), Instruction::Exit]);
+        let cfg = Cfg::build(&k);
+        let lints = cfg.lints();
+        assert!(lints.iter().any(
+            |l| matches!(l, StructuralLint::ReconvNotPostDominator { reconv, .. } if *reconv == Pc(1))
+        ));
+    }
+
+    #[test]
+    fn infinite_loop_is_flagged_once() {
+        // 0: add; 1: jump ->0 — no exit anywhere.
+        let k = kernel(vec![add(0), Instruction::Jump { target: Pc(0) }]);
+        let cfg = Cfg::build(&k);
+        let loops: Vec<_> = cfg
+            .lints()
+            .into_iter()
+            .filter(|l| matches!(l, StructuralLint::InfiniteLoop { .. }))
+            .collect();
+        assert_eq!(loops.len(), 1, "one lint per trapped region: {loops:?}");
+    }
+
+    #[test]
+    fn falls_off_end_is_flagged() {
+        let k = kernel(vec![add(0), add(1)]);
+        let cfg = Cfg::build(&k);
+        assert!(cfg
+            .lints()
+            .iter()
+            .any(|l| matches!(l, StructuralLint::FallsOffEnd { .. })));
+    }
+
+    #[test]
+    fn proper_loop_has_no_lints() {
+        // 0: init; 1: body; 2: branch back ->1 (reconv 3); 3: exit
+        let k = kernel(vec![add(0), add(1), branch(1, 3), Instruction::Exit]);
+        let cfg = Cfg::build(&k);
+        assert!(cfg.lints().is_empty(), "{:?}", cfg.lints());
+        // Back edge present: block of pc1 has the branch block as pred.
+        let body = cfg.block_of(Pc(1));
+        let br = cfg.block_of(Pc(2));
+        assert!(cfg.blocks()[body].preds.contains(&br));
+    }
+}

@@ -1,0 +1,425 @@
+//! Dataflow passes over the CFG: reaching definitions / def-use chains,
+//! per-block liveness, and a read-before-write detector.
+
+use crate::bitset::BitSet;
+use crate::cfg::Cfg;
+use crate::diag::DataflowWarning;
+use warped_isa::{Kernel, Pc, Reg};
+
+/// One register definition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Def {
+    /// Defining instruction.
+    pub pc: Pc,
+    /// Defined register.
+    pub reg: Reg,
+}
+
+/// Def-use chains: for each definition, every instruction it can reach as
+/// the value of its register.
+#[derive(Debug, Clone)]
+pub struct DefUse {
+    /// All definition sites, in code order.
+    pub defs: Vec<Def>,
+    /// Use sites per definition (parallel to `defs`), in code order.
+    pub uses: Vec<Vec<Pc>>,
+}
+
+impl DefUse {
+    /// Definitions whose value no instruction ever reads.
+    pub fn dead_defs(&self) -> impl Iterator<Item = Def> + '_ {
+        self.defs
+            .iter()
+            .zip(&self.uses)
+            .filter(|(_, uses)| uses.is_empty())
+            .map(|(d, _)| *d)
+    }
+}
+
+/// Per-block liveness: registers carrying a value into / out of a block.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live on entry to each block.
+    pub live_in: Vec<Vec<Reg>>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<Vec<Reg>>,
+}
+
+/// Compute def-use chains via reaching definitions.
+pub fn def_use(kernel: &Kernel, cfg: &Cfg) -> DefUse {
+    let code = kernel.code();
+    let defs: Vec<Def> = code
+        .iter()
+        .enumerate()
+        .filter_map(|(i, instr)| {
+            instr.dst().map(|reg| Def {
+                pc: Pc(i as u32),
+                reg,
+            })
+        })
+        .collect();
+    let nd = defs.len();
+    // Definition ids per register, for kill sets.
+    let mut defs_of_reg: Vec<Vec<usize>> = vec![Vec::new(); kernel.num_regs() as usize];
+    let mut def_at_pc: Vec<Option<usize>> = vec![None; code.len()];
+    for (id, d) in defs.iter().enumerate() {
+        defs_of_reg[d.reg.index()].push(id);
+        def_at_pc[d.pc.index()] = Some(id);
+    }
+
+    let nb = cfg.blocks().len();
+    let mut gen_b: Vec<BitSet> = (0..nb).map(|_| BitSet::new(nd)).collect();
+    let mut kill_b: Vec<BitSet> = (0..nb).map(|_| BitSet::new(nd)).collect();
+    for b in cfg.blocks() {
+        for &id in def_at_pc[b.start..b.end].iter().flatten() {
+            // A later def of the same register kills everything else.
+            for &other in &defs_of_reg[defs[id].reg.index()] {
+                kill_b[b.id].insert(other);
+                gen_b[b.id].remove(other);
+            }
+            gen_b[b.id].insert(id);
+            kill_b[b.id].remove(id);
+        }
+    }
+
+    let mut r_in: Vec<BitSet> = (0..nb).map(|_| BitSet::new(nd)).collect();
+    let mut r_out: Vec<BitSet> = (0..nb).map(|_| BitSet::new(nd)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in cfg.blocks() {
+            let mut inn = BitSet::new(nd);
+            for &p in &b.preds {
+                inn.union_with(&r_out[p]);
+            }
+            let mut out = inn.clone();
+            out.subtract(&kill_b[b.id]);
+            out.union_with(&gen_b[b.id]);
+            if inn != r_in[b.id] || out != r_out[b.id] {
+                r_in[b.id] = inn;
+                r_out[b.id] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Walk each block with its reaching set to attribute uses.
+    let mut uses: Vec<Vec<Pc>> = vec![Vec::new(); nd];
+    for b in cfg.blocks() {
+        let mut live_defs = r_in[b.id].clone();
+        for pc in b.start..b.end {
+            for src in code[pc].src_regs().into_iter().flatten() {
+                for &id in &defs_of_reg[src.index()] {
+                    if live_defs.contains(id) {
+                        uses[id].push(Pc(pc as u32));
+                    }
+                }
+            }
+            if let Some(id) = def_at_pc[pc] {
+                for &other in &defs_of_reg[defs[id].reg.index()] {
+                    live_defs.remove(other);
+                }
+                live_defs.insert(id);
+            }
+        }
+    }
+    for u in &mut uses {
+        u.sort_unstable_by_key(|p| p.0);
+        u.dedup();
+    }
+    DefUse { defs, uses }
+}
+
+/// Backward liveness over the CFG.
+pub fn liveness(kernel: &Kernel, cfg: &Cfg) -> Liveness {
+    let code = kernel.code();
+    let nr = kernel.num_regs() as usize;
+    let nb = cfg.blocks().len();
+
+    // use[b]: read before any write in b; def[b]: written in b.
+    let mut use_b: Vec<BitSet> = (0..nb).map(|_| BitSet::new(nr)).collect();
+    let mut def_b: Vec<BitSet> = (0..nb).map(|_| BitSet::new(nr)).collect();
+    for b in cfg.blocks() {
+        for instr in &code[b.start..b.end] {
+            for src in instr.src_regs().into_iter().flatten() {
+                if !def_b[b.id].contains(src.index()) {
+                    use_b[b.id].insert(src.index());
+                }
+            }
+            if let Some(dst) = instr.dst() {
+                def_b[b.id].insert(dst.index());
+            }
+        }
+    }
+
+    let mut l_in: Vec<BitSet> = (0..nb).map(|_| BitSet::new(nr)).collect();
+    let mut l_out: Vec<BitSet> = (0..nb).map(|_| BitSet::new(nr)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in cfg.blocks().iter().rev() {
+            let mut out = BitSet::new(nr);
+            for &s in &b.succs {
+                out.union_with(&l_in[s]);
+            }
+            let mut inn = out.clone();
+            inn.subtract(&def_b[b.id]);
+            inn.union_with(&use_b[b.id]);
+            if out != l_out[b.id] || inn != l_in[b.id] {
+                l_out[b.id] = out;
+                l_in[b.id] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    let regs = |s: &BitSet| s.iter().map(|i| Reg(i as u16)).collect();
+    Liveness {
+        live_in: l_in.iter().map(regs).collect(),
+        live_out: l_out.iter().map(regs).collect(),
+    }
+}
+
+/// Read-before-write detection: forward must-analysis of definitely
+/// assigned registers; any read outside that set may observe the
+/// zero-initialized frame rather than a computed value.
+pub fn maybe_uninit_reads(kernel: &Kernel, cfg: &Cfg) -> Vec<DataflowWarning> {
+    let code = kernel.code();
+    let nr = kernel.num_regs() as usize;
+    let nb = cfg.blocks().len();
+
+    let mut da_out: Vec<BitSet> = (0..nb).map(|_| BitSet::full(nr)).collect();
+    let block_defs = |b: &crate::cfg::BasicBlock, set: &mut BitSet| {
+        for instr in &code[b.start..b.end] {
+            if let Some(dst) = instr.dst() {
+                set.insert(dst.index());
+            }
+        }
+    };
+
+    let entry_in = BitSet::new(nr);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in cfg.blocks() {
+            let mut inn = if b.id == 0 {
+                entry_in.clone()
+            } else {
+                let mut m: Option<BitSet> = None;
+                for &p in &b.preds {
+                    match &mut m {
+                        None => m = Some(da_out[p].clone()),
+                        Some(acc) => {
+                            acc.intersect_with(&da_out[p]);
+                        }
+                    }
+                }
+                m.unwrap_or_else(|| BitSet::full(nr))
+            };
+            block_defs(b, &mut inn);
+            if inn != da_out[b.id] {
+                da_out[b.id] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    let mut warnings = Vec::new();
+    for b in cfg.blocks() {
+        if !cfg.is_reachable(b.id) {
+            continue;
+        }
+        let mut assigned = if b.id == 0 {
+            entry_in.clone()
+        } else {
+            let mut m: Option<BitSet> = None;
+            for &p in &b.preds {
+                match &mut m {
+                    None => m = Some(da_out[p].clone()),
+                    Some(acc) => {
+                        acc.intersect_with(&da_out[p]);
+                    }
+                }
+            }
+            m.unwrap_or_else(|| BitSet::full(nr))
+        };
+        for (pc, instr) in code.iter().enumerate().take(b.end).skip(b.start) {
+            for src in instr.src_regs().into_iter().flatten() {
+                if !assigned.contains(src.index()) {
+                    warnings.push(DataflowWarning::MaybeUninitRead {
+                        pc: Pc(pc as u32),
+                        reg: src,
+                    });
+                }
+            }
+            if let Some(dst) = instr.dst() {
+                assigned.insert(dst.index());
+            }
+        }
+    }
+    warnings.sort_by_key(|w| match w {
+        DataflowWarning::MaybeUninitRead { pc, reg } | DataflowWarning::DeadWrite { pc, reg } => {
+            (pc.0, reg.0)
+        }
+    });
+    warnings.dedup();
+    warnings
+}
+
+/// Dead-write detection from def-use chains, filtered to reachable code
+/// (unreachable writes are already covered by the unreachable-block lint).
+pub fn dead_writes(def_use: &DefUse, cfg: &Cfg) -> Vec<DataflowWarning> {
+    def_use
+        .dead_defs()
+        .filter(|d| cfg.is_reachable(cfg.block_of(d.pc)))
+        .map(|d| DataflowWarning::DeadWrite {
+            pc: d.pc,
+            reg: d.reg,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_isa::{AluBinOp, Instruction, Operand};
+
+    fn add(dst: u16, a: u16, b: u16) -> Instruction {
+        Instruction::Bin {
+            op: AluBinOp::IAdd,
+            dst: Reg(dst),
+            a: Operand::Reg(Reg(a)),
+            b: Operand::Reg(Reg(b)),
+        }
+    }
+
+    fn addi(dst: u16, imm: u32) -> Instruction {
+        Instruction::Bin {
+            op: AluBinOp::IAdd,
+            dst: Reg(dst),
+            a: Operand::Imm(imm),
+            b: Operand::Imm(0),
+        }
+    }
+
+    fn analyze(code: Vec<Instruction>) -> (Kernel, Cfg) {
+        let k = Kernel::new("t", code, 8, 0).unwrap();
+        let cfg = Cfg::build(&k);
+        (k, cfg)
+    }
+
+    #[test]
+    fn def_use_links_straight_line() {
+        // 0: r0 = 1; 1: r1 = r0 + r0; 2: exit
+        let (k, cfg) = analyze(vec![addi(0, 1), add(1, 0, 0), Instruction::Exit]);
+        let du = def_use(&k, &cfg);
+        assert_eq!(du.defs.len(), 2);
+        assert_eq!(du.uses[0], vec![Pc(1)]); // r0's def used by pc1
+        assert!(du.uses[1].is_empty()); // r1 never read
+        assert_eq!(du.dead_defs().count(), 1);
+    }
+
+    #[test]
+    fn def_use_flows_around_a_loop() {
+        // 0: r0 = 1; 1: r1 = r0+r0; 2: branch back ->1 (reconv 3); 3: exit
+        let br = Instruction::Branch {
+            pred: Reg(1),
+            negate: false,
+            target: Pc(1),
+            reconv: Pc(3),
+        };
+        let (k, cfg) = analyze(vec![addi(0, 1), add(1, 0, 0), br, Instruction::Exit]);
+        let du = def_use(&k, &cfg);
+        // r0's def reaches the loop body on every iteration.
+        assert_eq!(du.uses[0], vec![Pc(1)]);
+        // r1's def is used by the branch predicate.
+        assert_eq!(du.uses[1], vec![Pc(2)]);
+    }
+
+    #[test]
+    fn liveness_across_blocks() {
+        // 0: r0 = 1; 1: branch ->3 (reconv 3); 2: r1 = r0+r0; 3: exit
+        let br = Instruction::Branch {
+            pred: Reg(0),
+            negate: false,
+            target: Pc(3),
+            reconv: Pc(3),
+        };
+        let (k, cfg) = analyze(vec![addi(0, 1), br, add(1, 0, 0), Instruction::Exit]);
+        let lv = liveness(&k, &cfg);
+        // r0 is defined in the branch's block but read again on the
+        // fall-through path, so it is live across the edge.
+        let b_branch = cfg.block_of(Pc(1));
+        let b_then = cfg.block_of(Pc(2));
+        assert!(lv.live_out[b_branch].contains(&Reg(0)));
+        assert!(lv.live_in[b_then].contains(&Reg(0)));
+        // Nothing is live out of the exit block.
+        let b_exit = cfg.block_of(Pc(3));
+        assert!(lv.live_out[b_exit].is_empty());
+    }
+
+    #[test]
+    fn uninit_read_is_flagged_and_init_is_not() {
+        // r2 read at pc0 without any write.
+        let (k, cfg) = analyze(vec![add(0, 2, 2), Instruction::Exit]);
+        let w = maybe_uninit_reads(&k, &cfg);
+        assert_eq!(
+            w,
+            vec![DataflowWarning::MaybeUninitRead {
+                pc: Pc(0),
+                reg: Reg(2)
+            }]
+        );
+
+        let (k2, cfg2) = analyze(vec![addi(2, 7), add(0, 2, 2), Instruction::Exit]);
+        assert!(maybe_uninit_reads(&k2, &cfg2).is_empty());
+    }
+
+    #[test]
+    fn one_sided_init_is_maybe_uninit() {
+        // branch over the init of r1; the fall-through path initializes,
+        // the taken path does not -> "maybe" uninitialized at the join.
+        let br = Instruction::Branch {
+            pred: Reg(0),
+            negate: false,
+            target: Pc(2),
+            reconv: Pc(2),
+        };
+        let (k, cfg) = analyze(vec![
+            br,
+            addi(1, 5),
+            add(2, 1, 1), // join: reads r1
+            Instruction::Exit,
+        ]);
+        let w = maybe_uninit_reads(&k, &cfg);
+        assert!(w.contains(&DataflowWarning::MaybeUninitRead {
+            pc: Pc(2),
+            reg: Reg(1)
+        }));
+        // The predicate read (r0, never written) is flagged too.
+        assert!(w.contains(&DataflowWarning::MaybeUninitRead {
+            pc: Pc(0),
+            reg: Reg(0)
+        }));
+    }
+
+    #[test]
+    fn dead_write_reported_only_in_reachable_code() {
+        // 0: r0 = 1 (dead); 1: jump ->3; 2: r1 = 2 (unreachable, dead); 3: exit
+        let (k, cfg) = analyze(vec![
+            addi(0, 1),
+            Instruction::Jump { target: Pc(3) },
+            addi(1, 2),
+            Instruction::Exit,
+        ]);
+        let du = def_use(&k, &cfg);
+        let dead = dead_writes(&du, &cfg);
+        assert_eq!(
+            dead,
+            vec![DataflowWarning::DeadWrite {
+                pc: Pc(0),
+                reg: Reg(0)
+            }]
+        );
+    }
+}

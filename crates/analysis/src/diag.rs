@@ -1,0 +1,164 @@
+//! Diagnostics produced by the static verifier.
+//!
+//! Structural lints flag kernels the simulator cannot execute sensibly
+//! (the analyzer's contract is that every shipped benchmark kernel has
+//! zero of them); dataflow warnings flag suspicious but executable code.
+
+use std::fmt;
+use warped_isa::{Pc, Reg};
+
+/// A structural defect in the kernel's control flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructuralLint {
+    /// A basic block no execution path can reach.
+    Unreachable {
+        /// Block id in the CFG.
+        block: usize,
+        /// First instruction of the block.
+        start: Pc,
+    },
+    /// A branch whose declared reconvergence point does not post-dominate
+    /// the branch, so diverged lanes may never rejoin there.
+    ReconvNotPostDominator {
+        /// The branch instruction.
+        branch: Pc,
+        /// Its declared reconvergence point.
+        reconv: Pc,
+    },
+    /// Control flow can enter a region from which no `Exit` is reachable.
+    InfiniteLoop {
+        /// Entry block of the non-terminating region.
+        block: usize,
+        /// First instruction of that block.
+        start: Pc,
+    },
+    /// Execution can run past the last instruction without an `Exit`.
+    FallsOffEnd {
+        /// Block whose fall-through leaves the code.
+        block: usize,
+        /// Last instruction of that block.
+        last: Pc,
+    },
+}
+
+impl fmt::Display for StructuralLint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructuralLint::Unreachable { block, start } => {
+                write!(f, "block b{block} (starting at {start}) is unreachable")
+            }
+            StructuralLint::ReconvNotPostDominator { branch, reconv } => write!(
+                f,
+                "branch at {branch}: reconvergence point {reconv} does not post-dominate it"
+            ),
+            StructuralLint::InfiniteLoop { block, start } => write!(
+                f,
+                "block b{block} (starting at {start}) enters a region with no path to exit"
+            ),
+            StructuralLint::FallsOffEnd { block, last } => write!(
+                f,
+                "block b{block} falls off the end of the code after {last}"
+            ),
+        }
+    }
+}
+
+impl StructuralLint {
+    /// Short machine-readable kind tag (JSON output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StructuralLint::Unreachable { .. } => "unreachable-block",
+            StructuralLint::ReconvNotPostDominator { .. } => "reconv-not-postdominator",
+            StructuralLint::InfiniteLoop { .. } => "infinite-loop",
+            StructuralLint::FallsOffEnd { .. } => "falls-off-end",
+        }
+    }
+}
+
+/// A suspicious dataflow pattern (executable, but likely a kernel bug).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowWarning {
+    /// A register may be read before any instruction wrote it (the
+    /// simulator zero-fills frames, so this reads 0, not garbage).
+    MaybeUninitRead {
+        /// The reading instruction.
+        pc: Pc,
+        /// The possibly-uninitialized register.
+        reg: Reg,
+    },
+    /// A register write no instruction can ever observe.
+    DeadWrite {
+        /// The writing instruction.
+        pc: Pc,
+        /// The overwritten-or-forgotten register.
+        reg: Reg,
+    },
+}
+
+impl fmt::Display for DataflowWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowWarning::MaybeUninitRead { pc, reg } => {
+                write!(f, "{pc} may read {reg} before any write reaches it")
+            }
+            DataflowWarning::DeadWrite { pc, reg } => {
+                write!(f, "{pc} writes {reg} but no instruction reads that value")
+            }
+        }
+    }
+}
+
+impl DataflowWarning {
+    /// Short machine-readable kind tag (JSON output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DataflowWarning::MaybeUninitRead { .. } => "maybe-uninit-read",
+            DataflowWarning::DeadWrite { .. } => "dead-write",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_locations() {
+        let lints = [
+            StructuralLint::Unreachable {
+                block: 2,
+                start: Pc(5),
+            },
+            StructuralLint::ReconvNotPostDominator {
+                branch: Pc(1),
+                reconv: Pc(4),
+            },
+            StructuralLint::InfiniteLoop {
+                block: 1,
+                start: Pc(3),
+            },
+            StructuralLint::FallsOffEnd {
+                block: 0,
+                last: Pc(9),
+            },
+        ];
+        for l in &lints {
+            assert!(!l.to_string().is_empty());
+            assert!(!l.kind().is_empty());
+        }
+        let warns = [
+            DataflowWarning::MaybeUninitRead {
+                pc: Pc(2),
+                reg: Reg(1),
+            },
+            DataflowWarning::DeadWrite {
+                pc: Pc(3),
+                reg: Reg(0),
+            },
+        ];
+        for w in &warns {
+            assert!(w.to_string().contains('@'));
+            assert!(!w.kind().is_empty());
+        }
+    }
+}

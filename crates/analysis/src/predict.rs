@@ -1,0 +1,344 @@
+//! Static DMR cost prediction.
+//!
+//! Two tiers:
+//!
+//! * **Exact** — for straight-line kernels (no branches or jumps), the
+//!   single-warp issue timing is fully determined by the scoreboard, so
+//!   the predictor replays the simulator's issue loop against the real
+//!   [`ReplayChecker`] and reproduces its stall/queue counters *exactly*.
+//! * **Per-block estimate** — for general kernels, each basic block is
+//!   fed through a fresh checker at one instruction per cycle (the
+//!   densest schedule the SM can produce), bounding the ReplayQ pressure
+//!   and queue-full stalls the block can generate per visit.
+
+use crate::cfg::Cfg;
+use warped_core::checker::{CheckerStats, Incoming, ReplayChecker, VerifyEvent, VerifyKind};
+use warped_core::DmrConfig;
+use warped_isa::{Instruction, Kernel, Space, UnitType};
+use warped_sim::{GpuConfig, WARP_SIZE};
+
+/// Machine parameters the predictor models.
+#[derive(Debug, Clone)]
+pub struct PredictConfig {
+    /// Pipeline latencies (only the latency fields are consulted).
+    pub gpu: GpuConfig,
+    /// ReplayQ capacity, as in [`DmrConfig::replayq_entries`].
+    pub replayq_entries: usize,
+}
+
+impl Default for PredictConfig {
+    fn default() -> Self {
+        PredictConfig {
+            gpu: GpuConfig::paper(),
+            replayq_entries: DmrConfig::default().replayq_entries,
+        }
+    }
+}
+
+/// Exact timing/stall prediction for a straight-line kernel executed by
+/// one fully-populated warp on an otherwise idle SM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactPrediction {
+    /// SM completion cycle, including the end-of-kernel ReplayQ drain.
+    pub cycles: u64,
+    /// Warp-instructions issued.
+    pub issued: u64,
+    /// Cycles the warp could not issue (scoreboard waits).
+    pub idle_cycles: u64,
+    /// The Replay Checker's counters, field-for-field comparable with
+    /// the aggregated [`CheckerStats`] of a simulator run.
+    pub checker: CheckerStats,
+}
+
+/// Whether the kernel is straight-line: no branches or jumps, and a
+/// single `Exit` as the last instruction. Barriers are permitted (they
+/// cost nothing for a lone warp).
+pub fn is_straight_line(kernel: &Kernel) -> bool {
+    let code = kernel.code();
+    let body_ok = code.iter().take(code.len().saturating_sub(1)).all(|i| {
+        !matches!(
+            i,
+            Instruction::Branch { .. } | Instruction::Jump { .. } | Instruction::Exit
+        )
+    });
+    body_ok && matches!(code.last(), Some(Instruction::Exit))
+}
+
+fn exe_latency(gpu: &GpuConfig, instr: &Instruction) -> u64 {
+    match instr {
+        Instruction::Sfu { .. } => gpu.sfu_latency,
+        Instruction::Ld {
+            space: Space::Shared,
+            ..
+        }
+        | Instruction::St {
+            space: Space::Shared,
+            ..
+        } => gpu.shared_latency,
+        Instruction::Ld { .. } | Instruction::St { .. } => gpu.global_latency,
+        _ => gpu.sp_latency,
+    }
+}
+
+fn incoming(instr: &Instruction, cycle: u64) -> Incoming {
+    let has_result = !matches!(
+        instr,
+        Instruction::Jump { .. } | Instruction::Bar | Instruction::Exit
+    );
+    Incoming {
+        warp_uid: 0,
+        unit: instr.unit(),
+        dst: instr.dst(),
+        srcs: instr.src_regs(),
+        cycle,
+        // One fully-populated warp: every result-producing instruction
+        // enters inter-warp DMR.
+        needs_inter: has_result,
+        mask: u32::MAX,
+        results: [0; WARP_SIZE],
+    }
+}
+
+/// Replay the SM issue loop for a straight-line kernel and return the
+/// checker counters it will produce, or `None` if the kernel is not
+/// straight-line.
+///
+/// The model mirrors the simulator cycle-for-cycle: scoreboard-blocked
+/// cycles hand the checker an idle slot, checker stalls freeze the SM
+/// with no callbacks, and the final drain adds one cycle per queued
+/// entry after the SM empties.
+pub fn predict_exact(kernel: &Kernel, config: &PredictConfig) -> Option<ExactPrediction> {
+    if !is_straight_line(kernel) {
+        return None;
+    }
+    let gpu = &config.gpu;
+    let mut checker = ReplayChecker::new(config.replayq_entries);
+    let mut events: Vec<VerifyEvent> = Vec::new();
+    let mut pending = vec![0u64; kernel.num_regs() as usize];
+
+    let mut cycle: u64 = 0;
+    let mut idle_cycles: u64 = 0;
+
+    for (i, instr) in kernel.code().iter().enumerate() {
+        // Scoreboard: destination (WAW) and sources (RAW) must have
+        // completed writeback. Each blocked cycle is an idle issue slot.
+        let ready_at = instr
+            .dst()
+            .iter()
+            .chain(instr.src_regs().iter().flatten())
+            .map(|r| pending[r.index()])
+            .max()
+            .unwrap_or(0);
+        while cycle < ready_at {
+            checker.on_idle(cycle, &mut events);
+            idle_cycles += 1;
+            cycle += 1;
+        }
+
+        let stalls = checker.on_issue(&incoming(instr, cycle), &mut events);
+        if let Some(dst) = instr.dst() {
+            pending[dst.index()] = cycle + gpu.writeback_latency(exe_latency(gpu, instr));
+        }
+        if matches!(instr, Instruction::Exit) {
+            // The GPU notices the empty SM on the next cycle and drains
+            // the queue one entry per cycle.
+            let drain = checker.on_done(cycle + 1, &mut events);
+            return Some(ExactPrediction {
+                cycles: cycle + 1 + drain,
+                issued: i as u64 + 1,
+                idle_cycles,
+                checker: checker.stats,
+            });
+        }
+        cycle += 1 + stalls;
+    }
+    unreachable!("straight-line kernels end in Exit");
+}
+
+/// Static ReplayQ pressure bound for one basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPressure {
+    /// Block id in the CFG.
+    pub block: usize,
+    /// Warp-instructions in the block.
+    pub instrs: usize,
+    /// Maximal same-unit run lengths, in order (the paper's Fig. 8a
+    /// quantity: long runs are what fills the ReplayQ).
+    pub runs: Vec<(UnitType, usize)>,
+    /// Peak ReplayQ occupancy under the densest issue schedule.
+    pub peak_queue: usize,
+    /// Queue-full (eager) stalls per visit under that schedule.
+    pub eager_stalls: u64,
+    /// RAW-on-unverified stalls per visit under that schedule.
+    pub raw_stalls: u64,
+}
+
+/// Split a block's instructions into maximal same-unit runs.
+fn unit_runs(instrs: &[Instruction]) -> Vec<(UnitType, usize)> {
+    let mut runs: Vec<(UnitType, usize)> = Vec::new();
+    for i in instrs {
+        let u = i.unit();
+        match runs.last_mut() {
+            Some((last, n)) if *last == u => *n += 1,
+            _ => runs.push((u, 1)),
+        }
+    }
+    runs
+}
+
+/// Estimate per-block ReplayQ pressure for every reachable block.
+///
+/// Each block is issued back-to-back (one instruction per cycle, the
+/// schedule with the least free verification bandwidth), so the reported
+/// stalls and occupancy are per-visit upper-pressure figures, not a
+/// whole-program prediction — use [`predict_exact`] for that when the
+/// kernel qualifies.
+pub fn block_pressure(kernel: &Kernel, cfg: &Cfg, config: &PredictConfig) -> Vec<BlockPressure> {
+    let code = kernel.code();
+    cfg.blocks()
+        .iter()
+        .filter(|b| cfg.is_reachable(b.id))
+        .map(|b| {
+            let instrs = &code[b.start..b.end];
+            let mut checker = ReplayChecker::new(config.replayq_entries);
+            let mut events = Vec::new();
+            for (t, instr) in instrs.iter().enumerate() {
+                checker.on_issue(&incoming(instr, t as u64), &mut events);
+            }
+            let stats = checker.stats;
+            BlockPressure {
+                block: b.id,
+                instrs: instrs.len(),
+                runs: unit_runs(instrs),
+                peak_queue: stats.max_queue,
+                eager_stalls: stats.verified[VerifyKind::EagerStall as usize],
+                raw_stalls: stats.verified[VerifyKind::RawStall as usize],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_isa::{AluBinOp, Operand, Reg, SfuOp};
+
+    fn addi(dst: u16, imm: u32) -> Instruction {
+        Instruction::Bin {
+            op: AluBinOp::IAdd,
+            dst: Reg(dst),
+            a: Operand::Imm(imm),
+            b: Operand::Imm(0),
+        }
+    }
+
+    fn sin(dst: u16, src: u16) -> Instruction {
+        Instruction::Sfu {
+            op: SfuOp::Sin,
+            dst: Reg(dst),
+            a: Operand::Reg(Reg(src)),
+        }
+    }
+
+    #[test]
+    fn straight_line_detection() {
+        let k = Kernel::new("k", vec![addi(0, 1), Instruction::Exit], 4, 0).unwrap();
+        assert!(is_straight_line(&k));
+        let br = Instruction::Branch {
+            pred: Reg(0),
+            negate: false,
+            target: Pc(2),
+            reconv: Pc(2),
+        };
+        let k2 = Kernel::new("k", vec![br, addi(0, 1), Instruction::Exit], 4, 0).unwrap();
+        assert!(!is_straight_line(&k2));
+    }
+
+    use warped_isa::Pc;
+
+    #[test]
+    fn independent_same_type_run_with_zero_queue_stalls() {
+        // Independent SP adds, queue capacity 0: every resolved
+        // same-type pair stalls one cycle (Algorithm 1 case 3).
+        let code = vec![
+            addi(0, 1),
+            addi(1, 2),
+            addi(2, 3),
+            addi(3, 4),
+            Instruction::Exit,
+        ];
+        let k = Kernel::new("k", code, 4, 0).unwrap();
+        let cfg = PredictConfig {
+            replayq_entries: 0,
+            ..Default::default()
+        };
+        let p = predict_exact(&k, &cfg).unwrap();
+        // Exit is also SP-typed, so adds 1..3 and Exit each resolve a
+        // same-type predecessor against a full (zero-entry) queue.
+        assert_eq!(p.checker.stall_cycles, 4);
+        assert_eq!(p.issued, 5);
+        assert_eq!(p.idle_cycles, 0);
+    }
+
+    #[test]
+    fn dependent_chain_idles_and_verifies_free() {
+        // r1 depends on r0: the 8-cycle RAW wait gives the checker idle
+        // slots, so nothing ever stalls even with a zero-entry queue.
+        let code = vec![addi(0, 1), sin(1, 0), Instruction::Exit];
+        let k = Kernel::new("k", code, 4, 0).unwrap();
+        let cfg = PredictConfig {
+            replayq_entries: 0,
+            ..Default::default()
+        };
+        let p = predict_exact(&k, &cfg).unwrap();
+        assert_eq!(p.checker.stall_cycles, 0);
+        assert!(p.idle_cycles >= 7, "RAW wait should idle: {p:?}");
+    }
+
+    #[test]
+    fn non_straight_line_returns_none() {
+        let br = Instruction::Branch {
+            pred: Reg(0),
+            negate: false,
+            target: Pc(1),
+            reconv: Pc(1),
+        };
+        let k = Kernel::new("k", vec![br, Instruction::Exit], 4, 0).unwrap();
+        assert_eq!(predict_exact(&k, &PredictConfig::default()), None);
+    }
+
+    #[test]
+    fn unit_runs_split_correctly() {
+        let instrs = vec![addi(0, 1), addi(1, 2), sin(2, 0), addi(3, 1)];
+        let runs = unit_runs(&instrs);
+        assert_eq!(
+            runs,
+            vec![(UnitType::Sp, 2), (UnitType::Sfu, 1), (UnitType::Sp, 1),]
+        );
+    }
+
+    #[test]
+    fn block_pressure_reports_queue_growth() {
+        let code = vec![
+            addi(0, 1),
+            addi(1, 2),
+            addi(2, 3),
+            addi(3, 4),
+            Instruction::Exit,
+        ];
+        let k = Kernel::new("k", code, 4, 0).unwrap();
+        let cfg = Cfg::build(&k);
+        let pressure = block_pressure(
+            &k,
+            &cfg,
+            &PredictConfig {
+                replayq_entries: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(pressure.len(), 1);
+        // Dense same-type run: queue grows with each resolved pair.
+        assert!(pressure[0].peak_queue >= 3, "{pressure:?}");
+        assert_eq!(pressure[0].eager_stalls, 0);
+    }
+}

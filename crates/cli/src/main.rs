@@ -18,6 +18,7 @@
 //!                                 scheduler, lane shuffle, sampling-DMR)
 //! warped profile   [--paper]      coverage sliced by warp utilization (§3.3)
 //! warped diagnose <bench>         inject a stuck-at fault, localize it (§3.4)
+//! warped analyze <bench> [--json]  static CFG/dataflow verifier + DMR cost
 //! warped disasm <bench>           disassemble a benchmark's kernel
 //! warped trace <bench> [--count N]  print the first N issued instructions
 //! warped run <bench> [--paper]    run one benchmark, verify, report
@@ -34,9 +35,9 @@ use warped::{baselines, dmr, isa, kernels, sim};
 
 fn usage() -> &'static str {
     "usage: warped <figure1|figure5|figure8a|figure8b|figure9a|figure9b|figure10|figure11|\
-     table1|config|faults|ablation|diagnose <benchmark>|disasm <benchmark>|trace <benchmark>|\n\
-     run <benchmark>|all>\n\
-     options: [--paper|--quick] [--csv] [--trials N] [--count N]\n\
+     table1|config|faults|ablation|diagnose <benchmark>|analyze <benchmark>|\n\
+     disasm <benchmark>|trace <benchmark>|run <benchmark>|all>\n\
+     options: [--paper|--quick] [--csv] [--json] [--trials N] [--count N]\n\
      benchmarks: BFS Nqueen MUM SCAN BitonicSort Laplace MatrixMul RadixSort SHA Libor CUFFT"
 }
 
@@ -47,6 +48,7 @@ struct Args {
     trials: u32,
     count: usize,
     csv: bool,
+    json: bool,
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -58,11 +60,13 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         trials: 8,
         count: 40,
         csv: false,
+        json: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--paper" => parsed.paper = true,
             "--csv" => parsed.csv = true,
+            "--json" => parsed.json = true,
             "--quick" => parsed.paper = false,
             "--trials" => {
                 let v = args.next().ok_or("--trials needs a value")?;
@@ -207,7 +211,9 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
             heading("Ablation: Fermi dual schedulers (paper \u{00a7}2.2)");
             let (_, t) = experiments::ablation::dual_issue(&cfg)?;
             show(&t, args.csv);
-            println!("(the second scheduler helps, yet units stay idle -- the DMR opportunity survives)");
+            println!(
+                "(the second scheduler helps, yet units stay idle -- the DMR opportunity survives)"
+            );
             heading("Ablation: Sampling-DMR duty sweep (MatrixMul)");
             let (_, t) = experiments::ablation::sampling(&cfg)?;
             show(&t, args.csv);
@@ -274,6 +280,28 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
                 None => {
                     println!("diagnosis:       inconclusive (fault never exercised or not covered)")
                 }
+            }
+        }
+        "analyze" => {
+            let Some(name) = args.bench.as_deref() else {
+                eprintln!("analyze needs a benchmark name\n{}", usage());
+                return Ok(());
+            };
+            let Some(bench) = kernels::Benchmark::from_name(name) else {
+                eprintln!("unknown benchmark {name}\n{}", usage());
+                return Ok(());
+            };
+            let w = bench.build(cfg.size)?;
+            let pcfg = warped::analysis::PredictConfig {
+                gpu: cfg.gpu.clone(),
+                replayq_entries: dmr::DmrConfig::default().replayq_entries,
+            };
+            let a = warped::analysis::analyze(w.kernel(), &pcfg);
+            if args.json {
+                println!("{}", a.to_json());
+            } else {
+                heading(&format!("Static analysis of {bench}"));
+                print!("{}", a.to_text());
             }
         }
         "disasm" => {
@@ -377,6 +405,7 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
                     trials: args.trials,
                     count: args.count,
                     csv: args.csv,
+                    json: args.json,
                 })?;
             }
         }
@@ -425,12 +454,30 @@ mod tests {
 
     #[test]
     fn flags_and_positionals_parse() {
-        let a = parse(&["run", "MatrixMul", "--paper", "--csv", "--trials", "3", "--count", "7"])
-            .unwrap();
+        let a = parse(&[
+            "run",
+            "MatrixMul",
+            "--paper",
+            "--csv",
+            "--trials",
+            "3",
+            "--count",
+            "7",
+        ])
+        .unwrap();
         assert_eq!(a.bench.as_deref(), Some("MatrixMul"));
         assert!(a.paper && a.csv);
         assert_eq!(a.trials, 3);
         assert_eq!(a.count, 7);
+    }
+
+    #[test]
+    fn json_flag_parses() {
+        let a = parse(&["analyze", "SHA", "--json"]).unwrap();
+        assert_eq!(a.command, "analyze");
+        assert_eq!(a.bench.as_deref(), Some("SHA"));
+        assert!(a.json);
+        assert!(!parse(&["analyze", "SHA"]).unwrap().json);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Kernel container and static validation.
 
 use crate::instruction::{Instruction, Pc};
+use crate::reg::Reg;
 use std::error::Error;
 use std::fmt;
 
@@ -122,6 +123,31 @@ impl Kernel {
     pub fn count_matching(&self, f: impl Fn(&Instruction) -> bool) -> usize {
         self.code.iter().filter(|i| f(i)).count()
     }
+
+    /// Deduplicated registers read by the instruction at `pc`, in operand
+    /// order. Empty when `pc` is past the end or the instruction reads no
+    /// registers.
+    pub fn reads(&self, pc: Pc) -> Vec<Reg> {
+        let mut out = Vec::new();
+        if let Some(instr) = self.fetch(pc) {
+            for reg in instr.src_regs().into_iter().flatten() {
+                if !out.contains(&reg) {
+                    out.push(reg);
+                }
+            }
+        }
+        out
+    }
+
+    /// Registers written by the instruction at `pc` (at most one in this
+    /// ISA). Empty when `pc` is past the end or the instruction writes no
+    /// register.
+    pub fn writes(&self, pc: Pc) -> Vec<Reg> {
+        self.fetch(pc)
+            .and_then(Instruction::dst)
+            .into_iter()
+            .collect()
+    }
 }
 
 /// Validation errors for [`Kernel`].
@@ -232,6 +258,73 @@ mod tests {
         };
         let err = Kernel::new("k", vec![br, Instruction::Exit], 4, 0).unwrap_err();
         assert!(matches!(err, KernelError::TargetOutOfRange { at: 0, .. }));
+    }
+
+    #[test]
+    fn jump_target_out_of_range_rejected() {
+        let jmp = Instruction::Jump { target: Pc(2) };
+        let err = Kernel::new("k", vec![jmp, Instruction::Exit], 4, 0).unwrap_err();
+        assert_eq!(
+            err,
+            KernelError::TargetOutOfRange {
+                at: 0,
+                target: Pc(2)
+            }
+        );
+    }
+
+    #[test]
+    fn source_register_out_of_range_rejected() {
+        let err = Kernel::new("k", vec![add(0, 1, 7), Instruction::Exit], 4, 0).unwrap_err();
+        assert_eq!(err, KernelError::RegOutOfRange { at: 0, reg: 7 });
+    }
+
+    #[test]
+    fn register_boundary_is_exact() {
+        // reg == num_regs - 1 is the last valid index; reg == num_regs is not.
+        assert!(Kernel::new("k", vec![add(3, 3, 3), Instruction::Exit], 4, 0).is_ok());
+        let err = Kernel::new("k", vec![add(4, 0, 0), Instruction::Exit], 4, 0).unwrap_err();
+        assert_eq!(err, KernelError::RegOutOfRange { at: 0, reg: 4 });
+    }
+
+    #[test]
+    fn branch_to_last_instruction_accepted() {
+        let br = Instruction::Branch {
+            pred: Reg(0),
+            negate: false,
+            target: Pc(1),
+            reconv: Pc(1),
+        };
+        assert!(Kernel::new("k", vec![br, Instruction::Exit], 4, 0).is_ok());
+    }
+
+    #[test]
+    fn reads_dedups_and_writes_reports_dst() {
+        let k = Kernel::new(
+            "k",
+            vec![
+                add(0, 1, 1), // r0 = r1 + r1: duplicate source collapses
+                Instruction::St {
+                    space: crate::Space::Shared,
+                    addr: Operand::Reg(Reg(2)),
+                    offset: 0,
+                    src: Operand::Reg(Reg(0)),
+                },
+                Instruction::Exit,
+            ],
+            4,
+            0,
+        )
+        .unwrap();
+        assert_eq!(k.reads(Pc(0)), vec![Reg(1)]);
+        assert_eq!(k.writes(Pc(0)), vec![Reg(0)]);
+        assert_eq!(k.reads(Pc(1)), vec![Reg(2), Reg(0)]);
+        assert!(k.writes(Pc(1)).is_empty()); // stores write memory, not regs
+        assert!(k.reads(Pc(2)).is_empty());
+        assert!(k.writes(Pc(2)).is_empty());
+        // Past-the-end pcs yield empty sets rather than panicking.
+        assert!(k.reads(Pc(99)).is_empty());
+        assert!(k.writes(Pc(99)).is_empty());
     }
 
     #[test]

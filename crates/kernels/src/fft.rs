@@ -56,12 +56,15 @@ impl Fft {
         let x = b.reg();
         b.mov(x, src);
         b.mov(dst, 0u32);
-        for _ in 0..bits {
+        for i in 0..bits {
             let bit = b.reg();
             b.and(bit, x, 1u32);
             b.shl(dst, dst, 1u32);
             b.or(dst, dst, bit);
-            b.shr(x, x, 1u32);
+            // The shifted-out value only feeds the next iteration.
+            if i + 1 < bits {
+                b.shr(x, x, 1u32);
+            }
         }
     }
 

@@ -85,10 +85,13 @@ impl NQueen {
         b.and(ok, ok, in_range);
         let g = b.reg();
         b.mov(g, gtid);
-        for _ in 0..fixed {
+        for i in 0..fixed {
             let [c, bit, blocked, free] = b.regs();
             b.urem(c, g, n);
-            b.udiv(g, g, n);
+            // The quotient only feeds the next unrolled iteration.
+            if i + 1 < fixed {
+                b.udiv(g, g, n);
+            }
             b.mov(bit, 1u32);
             b.shl(bit, bit, c);
             b.or(blocked, cols, ld);

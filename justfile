@@ -1,0 +1,17 @@
+# Development task runner. `just --list` shows the recipes.
+
+# Clippy (deny warnings) + rustfmt check.
+lint:
+    ./scripts/lint.sh
+
+# Full test suite across the workspace.
+test:
+    cargo test --workspace
+
+# Release build of the library and the `warped` CLI.
+build:
+    cargo build --release
+
+# Static analysis report for one benchmark kernel, e.g. `just analyze SHA`.
+analyze bench:
+    cargo run -q -p warped-cli -- analyze {{bench}}

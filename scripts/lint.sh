@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Workspace lint gate: clippy (warnings are errors) + rustfmt check.
+# Run from anywhere; operates on the repository the script lives in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
+echo "lint: clean"

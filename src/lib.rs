@@ -9,6 +9,8 @@
 //! * [`sim`] — the cycle-level SIMT GPU simulator ([`warped_sim`])
 //! * [`kernels`] — the 11 benchmark workloads of the paper ([`warped_kernels`])
 //! * [`dmr`] — the paper's contribution: intra-/inter-warp DMR ([`warped_core`])
+//! * [`analysis`] — static kernel verifier and DMR cost predictor
+//!   ([`warped_analysis`])
 //! * [`faults`] — fault-injection campaigns ([`warped_faults`])
 //! * [`baselines`] — R-Naive / R-Thread / DMTR comparison schemes
 //!   ([`warped_baselines`])
@@ -36,6 +38,7 @@
 
 pub mod experiments;
 
+pub use warped_analysis as analysis;
 pub use warped_baselines as baselines;
 pub use warped_core as dmr;
 pub use warped_faults as faults;

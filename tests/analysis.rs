@@ -1,0 +1,198 @@
+//! End-to-end checks for the static analyzer: every shipped benchmark
+//! kernel is structurally clean, and on straight-line kernels the DMR
+//! cost predictor reproduces the simulator's ReplayQ counters exactly.
+
+use warped::analysis::{analyze, is_straight_line, predict_exact, PredictConfig};
+use warped::dmr::{DmrConfig, WarpedDmr};
+use warped::isa::{Kernel, KernelBuilder};
+use warped::kernels::{Benchmark, WorkloadSize};
+use warped::sim::{Gpu, GpuConfig, LaunchConfig};
+
+fn predict_config(gpu: &GpuConfig) -> PredictConfig {
+    PredictConfig {
+        gpu: gpu.clone(),
+        replayq_entries: DmrConfig::default().replayq_entries,
+    }
+}
+
+#[test]
+fn every_benchmark_kernel_is_structurally_clean() {
+    let cfg = PredictConfig::default();
+    for bench in Benchmark::ALL {
+        let w = bench.build(WorkloadSize::Tiny).expect("workload builds");
+        let a = analyze(w.kernel(), &cfg);
+        assert!(a.is_clean(), "{bench}: structural lints {:?}", a.lints);
+        assert!(
+            a.warnings.is_empty(),
+            "{bench}: dataflow warnings {:?}",
+            a.warnings
+        );
+        assert!(!a.pressure.is_empty(), "{bench}: no pressure rows");
+    }
+}
+
+/// Run `kernel` as one warp of 32 threads on an otherwise idle chip and
+/// return the measured Warped-DMR report plus total cycles.
+fn measure(
+    kernel: &Kernel,
+    gpu_cfg: &GpuConfig,
+    params: Vec<u32>,
+) -> (warped::dmr::DmrReport, u64) {
+    let mut gpu = Gpu::new(gpu_cfg.clone());
+    let mut engine = WarpedDmr::new(DmrConfig::default(), gpu_cfg);
+    let launch = LaunchConfig::linear(1, 32).with_params(params);
+    let stats = gpu
+        .launch(kernel, &launch, &mut engine)
+        .expect("launch succeeds");
+    (engine.report(), stats.cycles)
+}
+
+fn assert_exact_match(kernel: &Kernel, gpu_cfg: &GpuConfig, params: Vec<u32>) {
+    assert!(
+        is_straight_line(kernel),
+        "{} not straight-line",
+        kernel.name()
+    );
+    let p = predict_exact(kernel, &predict_config(gpu_cfg)).expect("straight-line prediction");
+    let (report, cycles) = measure(kernel, gpu_cfg, params);
+    assert_eq!(
+        p.checker,
+        report.checker,
+        "{}: predicted checker stats diverge from measurement",
+        kernel.name()
+    );
+    assert_eq!(
+        p.cycles,
+        cycles,
+        "{}: predicted cycle count diverges from measurement",
+        kernel.name()
+    );
+}
+
+#[test]
+fn predictor_matches_simulator_on_sha() {
+    // SHA at Tiny scale is exactly one block of 32 threads and its kernel
+    // has no control flow: the predictor must land on the simulator's
+    // numbers to the cycle.
+    let w = Benchmark::Sha.build(WorkloadSize::Tiny).unwrap();
+    let kernel = w.kernel();
+    let gpu_cfg = GpuConfig::small();
+    assert!(
+        is_straight_line(kernel),
+        "SHA kernel should be straight-line"
+    );
+    let p = predict_exact(kernel, &predict_config(&gpu_cfg)).unwrap();
+
+    let mut engine = WarpedDmr::new(DmrConfig::default(), &gpu_cfg);
+    let run = w.run_with(&gpu_cfg, &mut engine).expect("SHA runs");
+    let report = engine.report();
+
+    assert_eq!(p.checker, report.checker, "checker stats must match");
+    assert_eq!(p.cycles, run.stats.cycles, "cycle count must match");
+    assert!(
+        report.checker.total_verified() > 0,
+        "SHA should exercise inter-warp verification"
+    );
+}
+
+#[test]
+fn predictor_matches_simulator_on_sp_sfu_mix() {
+    // A dense SP burst followed by dependent SFU work: long same-type
+    // runs pressure the ReplayQ while the RAW chain opens idle slots.
+    let mut b = KernelBuilder::new("mix");
+    let mut regs = Vec::new();
+    for i in 0..12u32 {
+        let r = b.reg();
+        b.iadd(r, i, 7u32);
+        regs.push(r);
+    }
+    let s = b.reg();
+    b.sin(s, regs[0]);
+    let t = b.reg();
+    b.fmul(t, s, regs[1]);
+    let u = b.reg();
+    b.sqrt(u, t);
+    b.exit();
+    let kernel = b.build().unwrap();
+    let p = predict_exact(&kernel, &predict_config(&GpuConfig::small())).unwrap();
+    assert!(
+        p.checker.enqueued > 0,
+        "the SP burst should pass through the ReplayQ: {p:?}"
+    );
+    assert_exact_match(&kernel, &GpuConfig::small(), vec![]);
+}
+
+#[test]
+fn predictor_matches_simulator_on_memory_kernel() {
+    // Global loads and stores bring the 200-cycle memory latency into
+    // the scoreboard replay.
+    let gpu_cfg = GpuConfig::small();
+    let mut gpu = Gpu::new(gpu_cfg.clone());
+    let buf = gpu.alloc_words(64);
+
+    let mut b = KernelBuilder::new("memtouch");
+    let tid = b.reg();
+    b.mov(tid, warped::isa::SpecialReg::GlobalTid);
+    let addr = b.reg();
+    let base = b.param(0);
+    b.imad(addr, tid, 1u32, base);
+    let v = b.reg();
+    b.ld_global(v, addr, 0);
+    let w = b.reg();
+    b.iadd(w, v, 5u32);
+    b.st_global(addr, 32, w);
+    b.exit();
+    let kernel = b.build().unwrap();
+
+    assert!(is_straight_line(&kernel));
+    let p = predict_exact(&kernel, &predict_config(&gpu_cfg)).unwrap();
+
+    let mut engine = WarpedDmr::new(DmrConfig::default(), &gpu_cfg);
+    let launch = LaunchConfig::linear(1, 32).with_params(vec![buf]);
+    let stats = gpu.launch(&kernel, &launch, &mut engine).unwrap();
+    let report = engine.report();
+
+    assert_eq!(p.checker, report.checker, "checker stats must match");
+    assert_eq!(p.cycles, stats.cycles, "cycle count must match");
+}
+
+#[test]
+fn per_block_pressure_covers_all_reachable_blocks() {
+    let w = Benchmark::MatrixMul.build(WorkloadSize::Tiny).unwrap();
+    let a = analyze(w.kernel(), &PredictConfig::default());
+    assert!(a.exact.is_none(), "MatrixMul has a loop");
+    let reachable = a
+        .cfg
+        .blocks()
+        .iter()
+        .filter(|b| a.cfg.is_reachable(b.id))
+        .count();
+    assert_eq!(a.pressure.len(), reachable);
+    // Every instruction of every reachable block is accounted for.
+    let counted: usize = a.pressure.iter().map(|p| p.instrs).sum();
+    let total: usize = a
+        .cfg
+        .blocks()
+        .iter()
+        .filter(|b| a.cfg.is_reachable(b.id))
+        .map(|b| b.end - b.start)
+        .sum();
+    assert_eq!(counted, total);
+}
+
+#[test]
+fn json_report_is_well_formed_for_every_benchmark() {
+    let cfg = PredictConfig::default();
+    for bench in Benchmark::ALL {
+        let w = bench.build(WorkloadSize::Tiny).unwrap();
+        let a = analyze(w.kernel(), &cfg);
+        let json = a.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{bench}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{bench}: unbalanced braces"
+        );
+        assert!(json.contains("\"clean\":true"), "{bench}");
+    }
+}
