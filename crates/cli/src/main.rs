@@ -22,12 +22,20 @@
 //! warped disasm <bench>           disassemble a benchmark's kernel
 //! warped trace <bench> [--count N]  print the first N issued instructions
 //! warped run <bench> [--paper]    run one benchmark, verify, report
+//! warped figures   [--paper]      all figure harnesses, in order
+//! warped campaign  [--trials N] [--seed N]  fault campaigns (parallel chunks)
+//! warped bench     [--check]      throughput harness -> BENCH_simulator.json
 //! warped all       [--paper]      everything above, in order
 //! ```
 //!
 //! Default scale is `--quick` (Small inputs, 4 SMs); `--paper` selects
 //! Full inputs on the paper's 30-SM chip (Table 3). `--csv` switches the
 //! table output to CSV for downstream plotting.
+//!
+//! Every harness fans its independent (benchmark, config) cells out
+//! through the `warped-runner` worker pool. `--threads N` sets the pool
+//! size explicitly (default: `WARPED_THREADS` or the machine's available
+//! parallelism); output is bit-identical at any value.
 
 use std::process::ExitCode;
 use warped::experiments::{self, ExperimentConfig, ExperimentError};
@@ -36,11 +44,13 @@ use warped::{baselines, dmr, isa, kernels, sim};
 fn usage() -> &'static str {
     "usage: warped <figure1|figure5|figure8a|figure8b|figure9a|figure9b|figure10|figure11|\
      table1|config|faults|ablation|diagnose <benchmark>|analyze <benchmark>|\n\
-     disasm <benchmark>|trace <benchmark>|run <benchmark>|all>\n\
+     disasm <benchmark>|trace <benchmark>|run <benchmark>|figures|campaign|bench|all>\n\
      options: [--paper|--quick] [--csv] [--json] [--trials N] [--count N]\n\
+     \u{20}        [--threads N] [--seed N] [--check]\n\
      benchmarks: BFS Nqueen MUM SCAN BitonicSort Laplace MatrixMul RadixSort SHA Libor CUFFT"
 }
 
+#[derive(Clone)]
 struct Args {
     command: String,
     bench: Option<String>,
@@ -49,6 +59,9 @@ struct Args {
     count: usize,
     csv: bool,
     json: bool,
+    threads: Option<usize>,
+    seed: u64,
+    check: bool,
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -61,6 +74,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         count: 40,
         csv: false,
         json: false,
+        threads: None,
+        seed: 0xf417,
+        check: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -68,6 +84,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
             "--csv" => parsed.csv = true,
             "--json" => parsed.json = true,
             "--quick" => parsed.paper = false,
+            "--check" => parsed.check = true,
             "--trials" => {
                 let v = args.next().ok_or("--trials needs a value")?;
                 parsed.trials = v.parse().map_err(|_| format!("bad trial count {v}"))?;
@@ -75,6 +92,14 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
             "--count" => {
                 let v = args.next().ok_or("--count needs a value")?;
                 parsed.count = v.parse().map_err(|_| format!("bad count {v}"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                parsed.threads = Some(v.parse().map_err(|_| format!("bad thread count {v}"))?);
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                parsed.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
             }
             other if parsed.bench.is_none() && !other.starts_with('-') => {
                 parsed.bench = Some(other.to_string());
@@ -102,7 +127,8 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
         ExperimentConfig::paper()
     } else {
         ExperimentConfig::quick()
-    };
+    }
+    .with_threads(warped::runner::resolve_threads(args.threads));
     match args.command.as_str() {
         "figure1" => {
             heading("Figure 1: execution time by number of active threads");
@@ -187,11 +213,49 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
             heading("Table 4: workloads");
             println!("{}", experiments::config_tables::table4());
         }
-        "faults" => {
+        "faults" | "campaign" => {
             heading("Fault injection: measured detection vs analytic coverage");
-            let (_, t) = experiments::faults_exp::run(&cfg, args.trials, 0xf417)?;
+            let (_, t) = experiments::faults_exp::run(&cfg, args.trials, args.seed)?;
             show(&t, args.csv);
             println!("(transient rate should track coverage; DMTR misses all stuck-at faults)");
+        }
+        "figures" => {
+            for cmd in [
+                "figure1", "figure5", "figure8a", "figure8b", "figure9a", "figure9b", "figure10",
+                "figure11",
+            ] {
+                run_command(&Args {
+                    command: cmd.to_string(),
+                    bench: None,
+                    ..args.clone()
+                })?;
+            }
+        }
+        "bench" => {
+            // --check: tiny smoke scale (the Criterion bench_config
+            // scale), stdout only; otherwise time the configured scale
+            // and write BENCH_simulator.json for scripts/bench.sh.
+            let bcfg = if args.check {
+                ExperimentConfig::test_tiny()
+                    .with_threads(warped::runner::resolve_threads(args.threads))
+            } else {
+                cfg.clone()
+            };
+            heading(&format!(
+                "Throughput: {:?} scale, {} worker(s)",
+                bcfg.size, bcfg.threads
+            ));
+            let report = experiments::throughput::run(&bcfg)?;
+            println!("{}", report.to_json());
+            if !args.check {
+                std::fs::write("BENCH_simulator.json", report.to_json() + "\n").unwrap_or_else(
+                    |e| {
+                        eprintln!("failed to write BENCH_simulator.json: {e}");
+                        std::process::exit(1);
+                    },
+                );
+                println!("wrote BENCH_simulator.json");
+            }
         }
         "profile" => {
             heading("Coverage by warp utilization (paper \u{00a7}3.3)");
@@ -395,17 +459,12 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
         }
         "all" => {
             for cmd in [
-                "table1", "config", "figure1", "figure5", "figure8a", "figure8b", "figure9a",
-                "figure9b", "figure10", "figure11", "profile", "faults", "ablation",
+                "table1", "config", "figures", "profile", "faults", "ablation", "bench",
             ] {
                 run_command(&Args {
                     command: cmd.to_string(),
                     bench: None,
-                    paper: args.paper,
-                    trials: args.trials,
-                    count: args.count,
-                    csv: args.csv,
-                    json: args.json,
+                    ..args.clone()
                 })?;
             }
         }
@@ -484,6 +543,20 @@ mod tests {
     fn quick_overrides_paper() {
         let a = parse(&["all", "--paper", "--quick"]).unwrap();
         assert!(!a.paper);
+    }
+
+    #[test]
+    fn threads_seed_and_check_parse() {
+        let a = parse(&["campaign", "--threads", "4", "--seed", "99"]).unwrap();
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.seed, 99);
+        assert!(!a.check);
+        let b = parse(&["bench", "--check"]).unwrap();
+        assert!(b.check);
+        assert_eq!(b.threads, None, "threads default to the environment");
+        assert!(parse(&["bench", "--threads"]).is_err());
+        assert!(parse(&["bench", "--threads", "lots"]).is_err());
+        assert!(parse(&["campaign", "--seed", "x"]).is_err());
     }
 
     #[test]

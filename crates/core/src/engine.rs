@@ -4,9 +4,10 @@
 use crate::checker::{CheckerStats, Incoming, ReplayChecker, VerifyEvent};
 use crate::comparator::{compare_and_log, ErrorLog, FaultOracle};
 use crate::config::DmrConfig;
-use crate::intra;
+use crate::intra::{self, IntraPlan};
 use crate::mapping::physical_lane;
 use crate::shuffle::verify_lane;
+use std::collections::HashMap;
 use warped_sim::{GpuConfig, IssueInfo, IssueObserver, WARP_SIZE};
 
 /// Fig. 1 bucket index for an active-lane count.
@@ -114,6 +115,10 @@ pub struct WarpedDmr {
     report: DmrReport,
     errors: ErrorLog,
     oracle: Option<Box<dyn FaultOracle>>,
+    // `intra::plan` is pure in (mask, config); kernels reuse a handful
+    // of masks across millions of issues, so memoizing removes the
+    // pairing computation (and its Vec builds) from the issue hot path.
+    plan_cache: HashMap<u32, IntraPlan>,
 }
 
 impl std::fmt::Debug for WarpedDmr {
@@ -143,6 +148,7 @@ impl WarpedDmr {
             report: DmrReport::default(),
             errors: ErrorLog::default(),
             oracle: None,
+            plan_cache: HashMap::new(),
         }
     }
 
@@ -243,7 +249,10 @@ impl IssueObserver for WarpedDmr {
 
         // Intra-warp DMR: spatial redundancy on idle lanes, zero cost.
         if info.has_result && !full && self.config.enable_intra {
-            let plan = intra::plan(info.active_mask, &self.config, WARP_SIZE);
+            let plan = self
+                .plan_cache
+                .entry(info.active_mask)
+                .or_insert_with(|| intra::plan(info.active_mask, &self.config, WARP_SIZE));
             self.report.intra_covered += u64::from(plan.covered);
             self.report.bucket_covered[bucket_of(plan.active)] += u64::from(plan.covered);
             if plan.covered == 0 {

@@ -5,8 +5,17 @@
 //! analytic coverage of paper Fig. 9a; stuck-at campaigns demonstrate the
 //! lane-shuffling claim of §3.2 (same-core verification hides permanent
 //! faults).
+//!
+//! ## Parallelism and determinism
+//!
+//! Trials are grouped into fixed-size chunks (see
+//! [`CampaignOptions::chunk_trials`]) and the chunks run through a
+//! [`warped_runner::Runner`]. Chunk `c` owns a private `StdRng` seeded
+//! `seed ^ c`, and chunk boundaries depend only on the chunk size —
+//! never on the worker count — so a campaign's result is bit-identical
+//! at any `--threads` setting.
 
-use crate::injector::ExecutionSampler;
+use crate::injector::{random_bit, ExecutionSampler, SampledIssue};
 use crate::model::FaultModel;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -14,7 +23,54 @@ use warped_baselines::Dmtr;
 use warped_core::mapping::physical_lane;
 use warped_core::{DmrConfig, LaneSite, WarpedDmr};
 use warped_kernels::Workload;
+use warped_runner::Runner;
 use warped_sim::{GpuConfig, SimError, WARP_SIZE};
+
+/// Default reservoir capacity of the profiling sampler: enough sites
+/// for statistically tight campaigns on every suite benchmark while
+/// keeping the profiling pass cheap.
+pub const DEFAULT_SAMPLER_CAPACITY: usize = 4096;
+
+/// Default trials per RNG chunk. Small enough that modest campaigns
+/// still spread across workers, large enough that per-chunk seeding
+/// stays a rounding error of total cost.
+pub const DEFAULT_CHUNK_TRIALS: u32 = 8;
+
+/// Tuning knobs of a campaign (the Monte-Carlo geometry, not the fault
+/// model). [`Default`] gives the documented constants and sizes the
+/// worker pool like every other layer
+/// ([`warped_runner::default_threads`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignOptions {
+    /// Reservoir capacity of the profiling [`ExecutionSampler`]
+    /// (default [`DEFAULT_SAMPLER_CAPACITY`]).
+    pub sampler_capacity: usize,
+    /// Trials per seeding chunk (default [`DEFAULT_CHUNK_TRIALS`]).
+    /// Changing this changes which faults a seed draws; changing the
+    /// thread count never does.
+    pub chunk_trials: u32,
+    /// Worker threads running trial chunks concurrently.
+    pub threads: usize,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            sampler_capacity: DEFAULT_SAMPLER_CAPACITY,
+            chunk_trials: DEFAULT_CHUNK_TRIALS,
+            threads: warped_runner::default_threads(),
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// A copy with the given worker count (zero clamps to one).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
 
 /// Which engine protects the runs of a campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,8 +109,9 @@ fn profile(
     dmr: &DmrConfig,
     protection: Protection,
     seed: u64,
+    capacity: usize,
 ) -> Result<ExecutionSampler, SimError> {
-    let mut sampler = ExecutionSampler::new(4096, seed);
+    let mut sampler = ExecutionSampler::new(capacity, seed);
     match protection {
         Protection::WarpedDmr => {
             let mut engine = WarpedDmr::new(dmr.clone(), gpu);
@@ -93,8 +150,91 @@ fn run_protected(
     }
 }
 
+/// Which fault model a campaign injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    Transient,
+    StuckAt,
+}
+
+/// Draw one fault for `kind` from the chunk's generator. The draw order
+/// (site, thread, bit, then value for stuck-at) is part of the seeding
+/// contract the determinism tests pin down.
+fn draw_fault(
+    kind: FaultKind,
+    samples: &[SampledIssue],
+    dmr: &DmrConfig,
+    protection: Protection,
+    rng: &mut StdRng,
+) -> FaultModel {
+    let ev = samples[rng.random_range(0..samples.len())];
+    let thread = ev.random_active_thread(rng);
+    // The original execution of `thread` happens on its mapped
+    // physical lane (DMTR has no mapping: lane = thread).
+    let lane = match protection {
+        Protection::WarpedDmr => physical_lane(dmr.mapping, thread, WARP_SIZE, dmr.cluster_size),
+        Protection::Dmtr => thread,
+    };
+    let site = LaneSite { sm: ev.sm, lane };
+    match kind {
+        FaultKind::Transient => FaultModel::TransientFlip {
+            site,
+            cycle: ev.cycle,
+            bit: random_bit(rng),
+        },
+        FaultKind::StuckAt => FaultModel::StuckAt {
+            site,
+            bit: random_bit(rng),
+            value: rng.random_bool(0.5),
+        },
+    }
+}
+
+/// Profile once, then run `trials` injected simulations in parallel
+/// chunks (chunk `c` reseeds `seed ^ c`; results are summed in chunk
+/// order, so the outcome is independent of the worker count).
+#[allow(clippy::too_many_arguments)]
+fn chunked_campaign(
+    kind: FaultKind,
+    workload: &Workload,
+    gpu: &GpuConfig,
+    dmr: &DmrConfig,
+    protection: Protection,
+    trials: u32,
+    seed: u64,
+    opts: &CampaignOptions,
+) -> Result<CampaignResult, SimError> {
+    let sampler = profile(workload, gpu, dmr, protection, seed, opts.sampler_capacity)?;
+    let samples = sampler.samples();
+    if samples.is_empty() || trials == 0 {
+        return Ok(CampaignResult::default());
+    }
+    let chunk = opts.chunk_trials.max(1);
+    let chunks = trials.div_ceil(chunk);
+    let per_chunk =
+        Runner::new(opts.threads).try_map(0..chunks, |c| -> Result<CampaignResult, SimError> {
+            let mut rng = StdRng::seed_from_u64(seed ^ u64::from(c));
+            let mut result = CampaignResult::default();
+            for _ in 0..chunk.min(trials - c * chunk) {
+                let fault = draw_fault(kind, samples, dmr, protection, &mut rng);
+                result.trials += 1;
+                if run_protected(workload, gpu, dmr, protection, fault)? {
+                    result.detected += 1;
+                }
+            }
+            Ok(result)
+        })?;
+    Ok(per_chunk
+        .into_iter()
+        .fold(CampaignResult::default(), |mut acc, r| {
+            acc.trials += r.trials;
+            acc.detected += r.detected;
+            acc
+        }))
+}
+
 /// Inject `trials` transient bit flips at sampled execution sites and
-/// count detections.
+/// count detections, with default [`CampaignOptions`].
 ///
 /// # Errors
 ///
@@ -107,34 +247,45 @@ pub fn transient_campaign(
     trials: u32,
     seed: u64,
 ) -> Result<CampaignResult, SimError> {
-    let mut sampler = profile(workload, gpu, dmr, protection, seed)?;
-    let mut result = CampaignResult::default();
-    for _ in 0..trials {
-        let Some(ev) = sampler.pick() else { break };
-        let thread = sampler.random_active_thread(&ev);
-        // The original execution of `thread` happens on its mapped
-        // physical lane (DMTR has no mapping: lane = thread).
-        let lane = match protection {
-            Protection::WarpedDmr => {
-                physical_lane(dmr.mapping, thread, WARP_SIZE, dmr.cluster_size)
-            }
-            Protection::Dmtr => thread,
-        };
-        let fault = FaultModel::TransientFlip {
-            site: LaneSite { sm: ev.sm, lane },
-            cycle: ev.cycle,
-            bit: sampler.random_bit(),
-        };
-        result.trials += 1;
-        if run_protected(workload, gpu, dmr, protection, fault)? {
-            result.detected += 1;
-        }
-    }
-    Ok(result)
+    transient_campaign_with(
+        workload,
+        gpu,
+        dmr,
+        protection,
+        trials,
+        seed,
+        &CampaignOptions::default(),
+    )
+}
+
+/// [`transient_campaign`] with explicit [`CampaignOptions`].
+///
+/// # Errors
+///
+/// Propagates simulator errors from the profiling or injected runs.
+pub fn transient_campaign_with(
+    workload: &Workload,
+    gpu: &GpuConfig,
+    dmr: &DmrConfig,
+    protection: Protection,
+    trials: u32,
+    seed: u64,
+    opts: &CampaignOptions,
+) -> Result<CampaignResult, SimError> {
+    chunked_campaign(
+        FaultKind::Transient,
+        workload,
+        gpu,
+        dmr,
+        protection,
+        trials,
+        seed,
+        opts,
+    )
 }
 
 /// Inject `trials` permanent stuck-at faults on lanes that demonstrably
-/// execute work, and count detections.
+/// execute work, and count detections, with default [`CampaignOptions`].
 ///
 /// # Errors
 ///
@@ -147,29 +298,41 @@ pub fn stuck_at_campaign(
     trials: u32,
     seed: u64,
 ) -> Result<CampaignResult, SimError> {
-    let mut sampler = profile(workload, gpu, dmr, protection, seed)?;
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
-    let mut result = CampaignResult::default();
-    for _ in 0..trials {
-        let Some(ev) = sampler.pick() else { break };
-        let thread = sampler.random_active_thread(&ev);
-        let lane = match protection {
-            Protection::WarpedDmr => {
-                physical_lane(dmr.mapping, thread, WARP_SIZE, dmr.cluster_size)
-            }
-            Protection::Dmtr => thread,
-        };
-        let fault = FaultModel::StuckAt {
-            site: LaneSite { sm: ev.sm, lane },
-            bit: sampler.random_bit(),
-            value: rng.random_bool(0.5),
-        };
-        result.trials += 1;
-        if run_protected(workload, gpu, dmr, protection, fault)? {
-            result.detected += 1;
-        }
-    }
-    Ok(result)
+    stuck_at_campaign_with(
+        workload,
+        gpu,
+        dmr,
+        protection,
+        trials,
+        seed,
+        &CampaignOptions::default(),
+    )
+}
+
+/// [`stuck_at_campaign`] with explicit [`CampaignOptions`].
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn stuck_at_campaign_with(
+    workload: &Workload,
+    gpu: &GpuConfig,
+    dmr: &DmrConfig,
+    protection: Protection,
+    trials: u32,
+    seed: u64,
+    opts: &CampaignOptions,
+) -> Result<CampaignResult, SimError> {
+    chunked_campaign(
+        FaultKind::StuckAt,
+        workload,
+        gpu,
+        dmr,
+        protection,
+        trials,
+        seed,
+        opts,
+    )
 }
 
 #[cfg(test)]

@@ -22,6 +22,31 @@ pub struct SampledIssue {
     pub warp_uid: u64,
 }
 
+impl SampledIssue {
+    /// Pick a uniformly random active lane of this event's mask using
+    /// the caller's generator (campaign chunks each own one, so trial
+    /// streams stay independent of thread count).
+    pub fn random_active_thread(&self, rng: &mut StdRng) -> usize {
+        let k = rng.random_range(0..self.mask.count_ones() as usize);
+        let mut seen = 0;
+        for lane in 0..WARP_SIZE {
+            if self.mask & (1 << lane) != 0 {
+                if seen == k {
+                    return lane;
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("mask has fewer set bits than count_ones claimed")
+    }
+}
+
+/// Random bit position for an injected flip, from the caller's
+/// generator.
+pub fn random_bit(rng: &mut StdRng) -> u8 {
+    rng.random_range(0..32) as u8
+}
+
 /// Reservoir sampler over the issue stream (only instructions that
 /// produce verifiable results are eligible).
 #[derive(Debug)]
@@ -55,8 +80,7 @@ impl ExecutionSampler {
 
     /// Pick a random active thread of a sampled event.
     pub fn random_active_thread(&mut self, s: &SampledIssue) -> usize {
-        let active: Vec<usize> = (0..WARP_SIZE).filter(|l| s.mask & (1 << l) != 0).collect();
-        active[self.rng.random_range(0..active.len())]
+        s.random_active_thread(&mut self.rng)
     }
 
     /// Pick a random sample index.
@@ -70,7 +94,7 @@ impl ExecutionSampler {
 
     /// Random bit position for an injected flip.
     pub fn random_bit(&mut self) -> u8 {
-        self.rng.random_range(0..32) as u8
+        random_bit(&mut self.rng)
     }
 }
 

@@ -180,7 +180,7 @@ impl Benchmark {
     /// Returns a [`KernelError`] if kernel assembly fails (a bug in the
     /// workload definition, not an input problem).
     pub fn build(&self, size: WorkloadSize) -> Result<Workload, KernelError> {
-        let inner: Box<dyn Program> = match self {
+        let inner: Box<dyn Program + Send + Sync> = match self {
             Benchmark::Bfs => Box::new(bfs::Bfs::new(size)?),
             Benchmark::NQueen => Box::new(nqueen::NQueen::new(size)?),
             Benchmark::Mum => Box::new(mum::Mum::new(size)?),
@@ -206,7 +206,9 @@ impl std::fmt::Display for Benchmark {
 /// A built benchmark: kernels assembled, inputs generated, reference
 /// ready. See the [crate-level example](crate).
 pub struct Workload {
-    inner: Box<dyn Program>,
+    // `Send + Sync` so experiment harnesses and fault campaigns can
+    // share one built workload across worker threads.
+    inner: Box<dyn Program + Send + Sync>,
 }
 
 impl std::fmt::Debug for Workload {

@@ -529,23 +529,27 @@ impl Sm {
         Ok(stalls)
     }
 
+    // Runs every cycle for every resident block — alloc-free: one pass
+    // counting live vs waiting warps, one pass clearing the flags.
     fn release_barriers(&mut self) {
+        let warps = &mut self.warp_slots;
         for b in self.block_slots.iter().flatten() {
-            let live: Vec<usize> = b
-                .warp_slots
-                .iter()
-                .copied()
-                .filter(|&s| self.warp_slots[s].is_some())
-                .collect();
-            if !live.is_empty()
-                && live
-                    .iter()
-                    .all(|&s| self.warp_slots[s].as_ref().is_some_and(|w| w.at_barrier))
-            {
-                for &s in &live {
-                    if let Some(w) = self.warp_slots[s].as_mut() {
-                        w.at_barrier = false;
+            let mut live = 0usize;
+            let mut waiting = 0usize;
+            for &s in &b.warp_slots {
+                if let Some(w) = &warps[s] {
+                    live += 1;
+                    if w.at_barrier {
+                        waiting += 1;
                     }
+                }
+            }
+            if live == 0 || waiting < live {
+                continue;
+            }
+            for &s in &b.warp_slots {
+                if let Some(w) = warps[s].as_mut() {
+                    w.at_barrier = false;
                 }
             }
         }

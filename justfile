@@ -15,3 +15,11 @@ build:
 # Static analysis report for one benchmark kernel, e.g. `just analyze SHA`.
 analyze bench:
     cargo run -q -p warped-cli -- analyze {{bench}}
+
+# Throughput harness: writes BENCH_simulator.json at the repo root.
+bench:
+    ./scripts/bench.sh
+
+# Cheap smoke run of the throughput harness (tiny scale, no JSON file).
+bench-check:
+    ./scripts/bench.sh --check

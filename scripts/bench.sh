@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Simulator throughput harness: times the benchmark suite serially and on
+# the parallel experiment engine, then records BENCH_simulator.json at the
+# repository root.
+#
+#   scripts/bench.sh             full run (quick scale, release build)
+#   scripts/bench.sh --check     smoke mode: tiny scale, no JSON written
+#
+# Thread count comes from --threads/WARPED_THREADS, else the machine's
+# available parallelism. Results are bit-identical at any thread count —
+# the harness itself asserts that on every run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=full
+ARGS=()
+for arg in "$@"; do
+    case "$arg" in
+        --check) MODE=check ;;
+        *) ARGS+=("$arg") ;;
+    esac
+done
+
+cargo build --release -p warped-cli --quiet
+
+if [ "$MODE" = check ]; then
+    # Tiny bench_config() scale: seconds, stdout only.
+    ./target/release/warped bench --check ${ARGS[@]+"${ARGS[@]}"}
+else
+    ./target/release/warped bench ${ARGS[@]+"${ARGS[@]}"}
+    echo "bench: wrote $(pwd)/BENCH_simulator.json"
+fi

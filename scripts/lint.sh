@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo clippy --workspace --all-targets -- -D warnings
+# --workspace covers every crate, including crates/runner (the parallel
+# job engine); the explicit -p guards against the crate ever being
+# dropped from the workspace members list unnoticed.
+cargo clippy --workspace -p warped-runner --all-targets -- -D warnings
 cargo fmt --check
 echo "lint: clean"

@@ -6,7 +6,7 @@
 use crate::experiments::{ExperimentConfig, ExperimentError};
 use warped_baselines::ResidueChecker;
 use warped_core::{DmrConfig, SamplingConfig, SamplingDmr, WarpedDmr};
-use warped_faults::campaign::{stuck_at_campaign, Protection};
+use warped_faults::campaign::{stuck_at_campaign_with, CampaignOptions, Protection};
 use warped_isa::UnitType;
 use warped_kernels::{Benchmark, WorkloadSize};
 use warped_sim::collectors::TypeSwitchCollector;
@@ -47,27 +47,29 @@ pub fn mechanisms(cfg: &ExperimentConfig) -> Result<(Vec<MechanismRow>, Table), 
             ..DmrConfig::default()
         },
     ];
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let w = bench.build(cfg.size)?;
-        let mut cov = [0.0f64; 3];
-        for (i, v) in variants.iter().enumerate() {
-            let mut engine = WarpedDmr::new(v.clone(), &cfg.gpu);
-            let run = w.run_with(&cfg.gpu, &mut engine)?;
+    let rows = cfg.runner().try_map(
+        Benchmark::ALL,
+        |bench| -> Result<MechanismRow, ExperimentError> {
+            let w = bench.build(cfg.size)?;
+            let mut cov = [0.0f64; 3];
+            for (i, v) in variants.iter().enumerate() {
+                let mut engine = WarpedDmr::new(v.clone(), &cfg.gpu);
+                let run = w.run_with(&cfg.gpu, &mut engine)?;
+                w.check(&run)?;
+                cov[i] = engine.report().coverage_pct();
+            }
+            let mut residue = ResidueChecker::new();
+            let run = w.run_with(&cfg.gpu, &mut residue)?;
             w.check(&run)?;
-            cov[i] = engine.report().coverage_pct();
-        }
-        let mut residue = ResidueChecker::new();
-        let run = w.run_with(&cfg.gpu, &mut residue)?;
-        w.check(&run)?;
-        rows.push(MechanismRow {
-            benchmark: bench,
-            both: cov[0],
-            intra_only: cov[1],
-            inter_only: cov[2],
-            residue: residue.stats.coverage_pct(),
-        });
-    }
+            Ok(MechanismRow {
+                benchmark: bench,
+                both: cov[0],
+                intra_only: cov[1],
+                inter_only: cov[2],
+                residue: residue.stats.coverage_pct(),
+            })
+        },
+    )?;
     let mut table = Table::new(vec![
         "benchmark",
         "both (%)",
@@ -109,36 +111,38 @@ pub struct SchedulerRow {
 ///
 /// Propagates workload and simulator errors.
 pub fn scheduler(cfg: &ExperimentConfig) -> Result<(Vec<SchedulerRow>, Table), ExperimentError> {
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let w = bench.build(cfg.size)?;
-        let mut per_policy = Vec::new();
-        for policy in [
-            SchedulerPolicy::GreedyThenOldest,
-            SchedulerPolicy::LooseRoundRobin,
-        ] {
-            let gpu = GpuConfig {
-                scheduler: policy,
-                ..cfg.gpu.clone()
-            };
-            let mut switches = TypeSwitchCollector::new();
-            let base = w.run_with(&gpu, &mut switches)?;
-            w.check(&base)?;
-            let mut engine = WarpedDmr::new(DmrConfig::default(), &gpu);
-            let with = w.run_with(&gpu, &mut engine)?;
-            per_policy.push((
-                switches.average(UnitType::Sp),
-                with.stats.cycles as f64 / base.stats.cycles.max(1) as f64,
-            ));
-        }
-        rows.push(SchedulerRow {
-            benchmark: bench,
-            greedy_sp_run: per_policy[0].0,
-            rr_sp_run: per_policy[1].0,
-            greedy_overhead: per_policy[0].1,
-            rr_overhead: per_policy[1].1,
-        });
-    }
+    let rows = cfg.runner().try_map(
+        Benchmark::ALL,
+        |bench| -> Result<SchedulerRow, ExperimentError> {
+            let w = bench.build(cfg.size)?;
+            let mut per_policy = Vec::new();
+            for policy in [
+                SchedulerPolicy::GreedyThenOldest,
+                SchedulerPolicy::LooseRoundRobin,
+            ] {
+                let gpu = GpuConfig {
+                    scheduler: policy,
+                    ..cfg.gpu.clone()
+                };
+                let mut switches = TypeSwitchCollector::new();
+                let base = w.run_with(&gpu, &mut switches)?;
+                w.check(&base)?;
+                let mut engine = WarpedDmr::new(DmrConfig::default(), &gpu);
+                let with = w.run_with(&gpu, &mut engine)?;
+                per_policy.push((
+                    switches.average(UnitType::Sp),
+                    with.stats.cycles as f64 / base.stats.cycles.max(1) as f64,
+                ));
+            }
+            Ok(SchedulerRow {
+                benchmark: bench,
+                greedy_sp_run: per_policy[0].0,
+                rr_sp_run: per_policy[1].0,
+                greedy_overhead: per_policy[0].1,
+                rr_overhead: per_policy[1].1,
+            })
+        },
+    )?;
     let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.1}"));
     let mut table = Table::new(vec![
         "benchmark",
@@ -230,28 +234,30 @@ impl DualIssueRow {
 ///
 /// Propagates workload and simulator errors.
 pub fn dual_issue(cfg: &ExperimentConfig) -> Result<(Vec<DualIssueRow>, Table), ExperimentError> {
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let w = bench.build(cfg.size)?;
-        let single = w.run_with(&cfg.gpu, &mut NullObserver)?;
-        w.check(&single)?;
-        let dual_gpu = cfg.gpu.clone().with_dual_issue();
-        let dual = w.run_with(&dual_gpu, &mut NullObserver)?;
-        w.check(&dual)?;
-        // An issuing cycle produced 1 or 2 instructions; dual_issues
-        // counts the 2s.
-        let issue_cycles = dual.stats.warp_instructions - dual.stats.dual_issues;
-        rows.push(DualIssueRow {
-            benchmark: bench,
-            single_cycles: single.stats.cycles,
-            dual_cycles: dual.stats.cycles,
-            dual_fire_rate: if issue_cycles == 0 {
-                0.0
-            } else {
-                dual.stats.dual_issues as f64 / issue_cycles as f64
-            },
-        });
-    }
+    let rows = cfg.runner().try_map(
+        Benchmark::ALL,
+        |bench| -> Result<DualIssueRow, ExperimentError> {
+            let w = bench.build(cfg.size)?;
+            let single = w.run_with(&cfg.gpu, &mut NullObserver)?;
+            w.check(&single)?;
+            let dual_gpu = cfg.gpu.clone().with_dual_issue();
+            let dual = w.run_with(&dual_gpu, &mut NullObserver)?;
+            w.check(&dual)?;
+            // An issuing cycle produced 1 or 2 instructions; dual_issues
+            // counts the 2s.
+            let issue_cycles = dual.stats.warp_instructions - dual.stats.dual_issues;
+            Ok(DualIssueRow {
+                benchmark: bench,
+                single_cycles: single.stats.cycles,
+                dual_cycles: dual.stats.cycles,
+                dual_fire_rate: if issue_cycles == 0 {
+                    0.0
+                } else {
+                    dual.stats.dual_issues as f64 / issue_cycles as f64
+                },
+            })
+        },
+    )?;
     let mut table = Table::new(vec![
         "benchmark",
         "cycles, 1 sched",
@@ -283,21 +289,32 @@ pub fn shuffling(cfg: &ExperimentConfig, trials: u32, seed: u64) -> Result<Table
         "stuck-at detected, shuffled (%)",
         "stuck-at detected, affinity (%)",
     ]);
+    // Campaigns parallelize internally; keep the benchmark loop serial.
+    let opts = CampaignOptions::default().with_threads(cfg.threads);
     for bench in [Benchmark::MatrixMul, Benchmark::Sha, Benchmark::Libor] {
         let w = bench.build(WorkloadSize::Tiny)?;
-        let on = stuck_at_campaign(
+        let on = stuck_at_campaign_with(
             &w,
             &cfg.gpu,
             &DmrConfig::default(),
             Protection::WarpedDmr,
             trials,
             seed,
+            &opts,
         )?;
         let off_cfg = DmrConfig {
             lane_shuffle: false,
             ..DmrConfig::default()
         };
-        let off = stuck_at_campaign(&w, &cfg.gpu, &off_cfg, Protection::WarpedDmr, trials, seed)?;
+        let off = stuck_at_campaign_with(
+            &w,
+            &cfg.gpu,
+            &off_cfg,
+            Protection::WarpedDmr,
+            trials,
+            seed,
+            &opts,
+        )?;
         table.row(vec![
             bench.name().to_string(),
             format!("{:.1}", on.detection_rate_pct()),

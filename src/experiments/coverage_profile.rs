@@ -35,21 +35,23 @@ pub const BUCKET_LABELS: [&str; 5] = ["1", "2-11", "12-21", "22-31", "32"];
 ///
 /// Propagates workload and simulator errors.
 pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<ProfileRow>, Table), ExperimentError> {
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let w = bench.build(cfg.size)?;
-        let mut engine = WarpedDmr::new(DmrConfig::default(), &cfg.gpu);
-        let run = w.run_with(&cfg.gpu, &mut engine)?;
-        w.check(&run)?;
-        let r = engine.report();
-        let per_bucket =
-            std::array::from_fn(|i| (r.bucket_total[i] > 0).then(|| r.bucket_coverage_pct(i)));
-        rows.push(ProfileRow {
-            benchmark: bench,
-            per_bucket,
-            overall: r.coverage_pct(),
-        });
-    }
+    let rows = cfg.runner().try_map(
+        Benchmark::ALL,
+        |bench| -> Result<ProfileRow, ExperimentError> {
+            let w = bench.build(cfg.size)?;
+            let mut engine = WarpedDmr::new(DmrConfig::default(), &cfg.gpu);
+            let run = w.run_with(&cfg.gpu, &mut engine)?;
+            w.check(&run)?;
+            let r = engine.report();
+            let per_bucket =
+                std::array::from_fn(|i| (r.bucket_total[i] > 0).then(|| r.bucket_coverage_pct(i)));
+            Ok(ProfileRow {
+                benchmark: bench,
+                per_bucket,
+                overall: r.coverage_pct(),
+            })
+        },
+    )?;
     let mut headers = vec!["benchmark".to_string()];
     headers.extend(BUCKET_LABELS.iter().map(|l| format!("{l} (%)")));
     headers.push("overall (%)".to_string());

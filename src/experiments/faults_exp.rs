@@ -3,7 +3,9 @@
 
 use crate::experiments::{ExperimentConfig, ExperimentError};
 use warped_core::{DmrConfig, WarpedDmr};
-use warped_faults::campaign::{stuck_at_campaign, transient_campaign, Protection};
+use warped_faults::campaign::{
+    stuck_at_campaign_with, transient_campaign_with, CampaignOptions, Protection,
+};
 use warped_kernels::{Benchmark, WorkloadSize};
 use warped_stats::Table;
 
@@ -40,6 +42,9 @@ pub fn run(
     seed: u64,
 ) -> Result<(Vec<FaultRow>, Table), ExperimentError> {
     let dmr = DmrConfig::default();
+    // The campaigns parallelize their trial chunks internally, so the
+    // benchmark loop stays serial (no nested oversubscription).
+    let opts = CampaignOptions::default().with_threads(cfg.threads);
     let mut rows = Vec::new();
     for bench in CAMPAIGN_BENCHMARKS {
         let w = bench.build(WorkloadSize::Tiny)?;
@@ -48,10 +53,26 @@ pub fn run(
         w.check(&run)?;
         let analytic = engine.report().coverage_pct();
 
-        let transient =
-            transient_campaign(&w, &cfg.gpu, &dmr, Protection::WarpedDmr, trials, seed)?;
-        let stuck = stuck_at_campaign(&w, &cfg.gpu, &dmr, Protection::WarpedDmr, trials, seed)?;
-        let dmtr_stuck = stuck_at_campaign(&w, &cfg.gpu, &dmr, Protection::Dmtr, trials, seed)?;
+        let transient = transient_campaign_with(
+            &w,
+            &cfg.gpu,
+            &dmr,
+            Protection::WarpedDmr,
+            trials,
+            seed,
+            &opts,
+        )?;
+        let stuck = stuck_at_campaign_with(
+            &w,
+            &cfg.gpu,
+            &dmr,
+            Protection::WarpedDmr,
+            trials,
+            seed,
+            &opts,
+        )?;
+        let dmtr_stuck =
+            stuck_at_campaign_with(&w, &cfg.gpu, &dmr, Protection::Dmtr, trials, seed, &opts)?;
 
         rows.push(FaultRow {
             benchmark: bench,

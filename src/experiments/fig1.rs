@@ -28,17 +28,19 @@ impl Fig1Row {
 ///
 /// Propagates workload and simulator errors; results are validated.
 pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<Fig1Row>, Table), ExperimentError> {
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let w = bench.build(cfg.size)?;
-        let mut c = ActiveThreadCollector::new();
-        let run = w.run_with(&cfg.gpu, &mut c)?;
-        w.check(&run)?;
-        rows.push(Fig1Row {
-            benchmark: bench,
-            fractions: c.histogram().fractions(),
-        });
-    }
+    let rows = cfg.runner().try_map(
+        Benchmark::ALL,
+        |bench| -> Result<Fig1Row, ExperimentError> {
+            let w = bench.build(cfg.size)?;
+            let mut c = ActiveThreadCollector::new();
+            let run = w.run_with(&cfg.gpu, &mut c)?;
+            w.check(&run)?;
+            Ok(Fig1Row {
+                benchmark: bench,
+                fractions: c.histogram().fractions(),
+            })
+        },
+    )?;
     let labels: Vec<String> = rows[0].fractions.iter().map(|(l, _)| l.clone()).collect();
     let mut headers = vec!["benchmark".to_string()];
     headers.extend(labels.iter().map(|l| format!("{l} (%)")));

@@ -42,19 +42,30 @@ impl Fig10Row {
 pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<Fig10Row>, Table), ExperimentError> {
     let pcie = PcieModel::default();
     let dmr = DmrConfig::default();
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let w = bench.build(cfg.size)?;
-        let mut schemes = Vec::new();
-        for kind in SchemeKind::ALL {
-            let e = run_scheme(kind, &w, &cfg.gpu, &dmr, &pcie)?;
-            schemes.push((kind, e));
-        }
-        rows.push(Fig10Row {
+    // One job per (benchmark, scheme) cell.
+    let cells: Vec<(Benchmark, SchemeKind)> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| SchemeKind::ALL.into_iter().map(move |k| (b, k)))
+        .collect();
+    let ends = cfg.runner().try_map(
+        cells,
+        |(bench, kind)| -> Result<EndToEnd, ExperimentError> {
+            let w = bench.build(cfg.size)?;
+            Ok(run_scheme(kind, &w, &cfg.gpu, &dmr, &pcie)?)
+        },
+    )?;
+    let per_bench = SchemeKind::ALL.len();
+    let rows: Vec<Fig10Row> = Benchmark::ALL
+        .iter()
+        .enumerate()
+        .map(|(bi, &bench)| Fig10Row {
             benchmark: bench,
-            schemes,
-        });
-    }
+            schemes: SchemeKind::ALL
+                .into_iter()
+                .zip(ends[bi * per_bench..(bi + 1) * per_bench].iter().cloned())
+                .collect(),
+        })
+        .collect();
     let mut headers = vec!["benchmark".to_string()];
     for kind in SchemeKind::ALL {
         headers.push(format!("{kind} kern(us)"));

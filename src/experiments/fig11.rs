@@ -27,24 +27,26 @@ pub struct Fig11Row {
 /// Propagates workload and simulator errors; results are validated.
 pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<Fig11Row>, Table), ExperimentError> {
     let params = PowerParams::default();
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let w = bench.build(cfg.size)?;
-        let base_run = w.run_with(&cfg.gpu, &mut NullObserver)?;
-        w.check(&base_run)?;
-        let base = estimate(&base_run.stats, &cfg.gpu, &params, None);
+    let rows = cfg.runner().try_map(
+        Benchmark::ALL,
+        |bench| -> Result<Fig11Row, ExperimentError> {
+            let w = bench.build(cfg.size)?;
+            let base_run = w.run_with(&cfg.gpu, &mut NullObserver)?;
+            w.check(&base_run)?;
+            let base = estimate(&base_run.stats, &cfg.gpu, &params, None);
 
-        let mut engine = WarpedDmr::new(DmrConfig::default(), &cfg.gpu);
-        let dmr_run = w.run_with(&cfg.gpu, &mut engine)?;
-        let report = engine.report();
-        let with = estimate(&dmr_run.stats, &cfg.gpu, &params, Some(&report));
+            let mut engine = WarpedDmr::new(DmrConfig::default(), &cfg.gpu);
+            let dmr_run = w.run_with(&cfg.gpu, &mut engine)?;
+            let report = engine.report();
+            let with = estimate(&dmr_run.stats, &cfg.gpu, &params, Some(&report));
 
-        rows.push(Fig11Row {
-            benchmark: bench,
-            power_ratio: with.power_ratio(&base),
-            energy_ratio: with.energy_ratio(&base),
-        });
-    }
+            Ok(Fig11Row {
+                benchmark: bench,
+                power_ratio: with.power_ratio(&base),
+                energy_ratio: with.energy_ratio(&base),
+            })
+        },
+    )?;
     let mut table = Table::new(vec!["benchmark", "power ratio", "energy ratio"]);
     for r in &rows {
         table.row(vec![

@@ -25,19 +25,21 @@ pub struct Fig5Row {
 ///
 /// Propagates workload and simulator errors; results are validated.
 pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<Fig5Row>, Table), ExperimentError> {
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let w = bench.build(cfg.size)?;
-        let mut c = UnitTypeCollector::new();
-        let run = w.run_with(&cfg.gpu, &mut c)?;
-        w.check(&run)?;
-        rows.push(Fig5Row {
-            benchmark: bench,
-            sp: c.fraction(UnitType::Sp),
-            sfu: c.fraction(UnitType::Sfu),
-            ldst: c.fraction(UnitType::LdSt),
-        });
-    }
+    let rows = cfg.runner().try_map(
+        Benchmark::ALL,
+        |bench| -> Result<Fig5Row, ExperimentError> {
+            let w = bench.build(cfg.size)?;
+            let mut c = UnitTypeCollector::new();
+            let run = w.run_with(&cfg.gpu, &mut c)?;
+            w.check(&run)?;
+            Ok(Fig5Row {
+                benchmark: bench,
+                sp: c.fraction(UnitType::Sp),
+                sfu: c.fraction(UnitType::Sfu),
+                ldst: c.fraction(UnitType::LdSt),
+            })
+        },
+    )?;
     let mut table = Table::new(vec!["benchmark", "SP (%)", "SFU (%)", "LD/ST (%)"]);
     for r in &rows {
         table.row(vec![

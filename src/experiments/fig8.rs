@@ -29,19 +29,21 @@ pub struct Fig8aRow {
 pub fn run_switch_distances(
     cfg: &ExperimentConfig,
 ) -> Result<(Vec<Fig8aRow>, Table), ExperimentError> {
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let w = bench.build(cfg.size)?;
-        let mut c = TypeSwitchCollector::new();
-        let run = w.run_with(&cfg.gpu, &mut c)?;
-        w.check(&run)?;
-        rows.push(Fig8aRow {
-            benchmark: bench,
-            sp: c.average(UnitType::Sp),
-            sfu: c.average(UnitType::Sfu),
-            ldst: c.average(UnitType::LdSt),
-        });
-    }
+    let rows = cfg.runner().try_map(
+        Benchmark::ALL,
+        |bench| -> Result<Fig8aRow, ExperimentError> {
+            let w = bench.build(cfg.size)?;
+            let mut c = TypeSwitchCollector::new();
+            let run = w.run_with(&cfg.gpu, &mut c)?;
+            w.check(&run)?;
+            Ok(Fig8aRow {
+                benchmark: bench,
+                sp: c.average(UnitType::Sp),
+                sfu: c.average(UnitType::Sfu),
+                ldst: c.average(UnitType::LdSt),
+            })
+        },
+    )?;
     let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.1}"));
     let mut table = Table::new(vec!["benchmark", "SP", "SFU", "LD/ST"]);
     for r in &rows {
@@ -76,22 +78,24 @@ pub struct Fig8bRow {
 pub fn run_raw_distances(
     cfg: &ExperimentConfig,
 ) -> Result<(Vec<Fig8bRow>, Table), ExperimentError> {
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let w = bench.build(cfg.size)?;
-        let mut c = RawDistanceCollector::new();
-        let run = w.run_with(&cfg.gpu, &mut c)?;
-        w.check(&run)?;
-        let h = c.histogram().clone();
-        // >= 100 has no exact bucket edge; >= 128 is the closest.
-        let frac = h.fraction_at_least(128);
-        rows.push(Fig8bRow {
-            benchmark: bench,
-            min: c.min_distance(),
-            frac_over_100: frac,
-            histogram: h,
-        });
-    }
+    let rows = cfg.runner().try_map(
+        Benchmark::ALL,
+        |bench| -> Result<Fig8bRow, ExperimentError> {
+            let w = bench.build(cfg.size)?;
+            let mut c = RawDistanceCollector::new();
+            let run = w.run_with(&cfg.gpu, &mut c)?;
+            w.check(&run)?;
+            let h = c.histogram().clone();
+            // >= 100 has no exact bucket edge; >= 128 is the closest.
+            let frac = h.fraction_at_least(128);
+            Ok(Fig8bRow {
+                benchmark: bench,
+                min: c.min_distance(),
+                frac_over_100: frac,
+                histogram: h,
+            })
+        },
+    )?;
     let mut table = Table::new(vec![
         "benchmark",
         "min",

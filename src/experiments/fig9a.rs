@@ -38,29 +38,36 @@ pub fn configs() -> [(&'static str, DmrConfig); 3] {
 ///
 /// Propagates workload and simulator errors; results are validated.
 pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<Fig9aRow>, Table), ExperimentError> {
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let w = bench.build(cfg.size)?;
-        let mut cov = [0.0f64; 3];
-        let mut intra_share = 0.0;
-        for (i, (_, dmr_cfg)) in configs().iter().enumerate() {
-            let mut engine = WarpedDmr::new(dmr_cfg.clone(), &cfg.gpu);
+    // One job per (benchmark, configuration) cell of the figure.
+    let dmr_configs = configs();
+    let cells: Vec<(Benchmark, usize)> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| (0..dmr_configs.len()).map(move |i| (b, i)))
+        .collect();
+    let cov = cfg
+        .runner()
+        .try_map(cells, |(bench, i)| -> Result<(f64, f64), ExperimentError> {
+            let w = bench.build(cfg.size)?;
+            let mut engine = WarpedDmr::new(dmr_configs[i].1.clone(), &cfg.gpu);
             let run = w.run_with(&cfg.gpu, &mut engine)?;
             w.check(&run)?;
             let report = engine.report();
-            cov[i] = report.coverage_pct();
-            if i == 2 {
-                intra_share = report.intra_share();
+            Ok((report.coverage_pct(), report.intra_share()))
+        })?;
+    let rows: Vec<Fig9aRow> = Benchmark::ALL
+        .iter()
+        .enumerate()
+        .map(|(bi, &bench)| {
+            let c = &cov[bi * 3..bi * 3 + 3];
+            Fig9aRow {
+                benchmark: bench,
+                four_lane: c[0].0,
+                eight_lane: c[1].0,
+                cross_mapping: c[2].0,
+                intra_share: c[2].1,
             }
-        }
-        rows.push(Fig9aRow {
-            benchmark: bench,
-            four_lane: cov[0],
-            eight_lane: cov[1],
-            cross_mapping: cov[2],
-            intra_share,
-        });
-    }
+        })
+        .collect();
     let mut table = Table::new(vec![
         "benchmark",
         "4-lane cluster (%)",

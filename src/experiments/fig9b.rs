@@ -34,25 +34,43 @@ impl Fig9bRow {
 ///
 /// Propagates workload and simulator errors; results are validated.
 pub fn run(cfg: &ExperimentConfig) -> Result<(Vec<Fig9bRow>, Table), ExperimentError> {
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let w = bench.build(cfg.size)?;
-        let base = w.run_with(&cfg.gpu, &mut NullObserver)?;
-        w.check(&base)?;
-        let base_cycles = base.stats.cycles.max(1);
-        let mut normalized = [0.0f64; 4];
-        for (i, q) in REPLAYQ_SIZES.iter().enumerate() {
-            let mut engine = WarpedDmr::new(DmrConfig::default().with_replayq(*q), &cfg.gpu);
-            let run = w.run_with(&cfg.gpu, &mut engine)?;
-            w.check(&run)?;
-            normalized[i] = run.stats.cycles as f64 / base_cycles as f64;
-        }
-        rows.push(Fig9bRow {
-            benchmark: bench,
-            base_cycles,
-            normalized,
-        });
-    }
+    // One job per (benchmark, sweep point) cell; cell 0 is the
+    // unprotected baseline the others normalize against.
+    const VARIANTS: usize = REPLAYQ_SIZES.len() + 1;
+    let cells: Vec<(Benchmark, usize)> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| (0..VARIANTS).map(move |i| (b, i)))
+        .collect();
+    let cycles = cfg
+        .runner()
+        .try_map(cells, |(bench, i)| -> Result<u64, ExperimentError> {
+            let w = bench.build(cfg.size)?;
+            let run = if i == 0 {
+                let run = w.run_with(&cfg.gpu, &mut NullObserver)?;
+                w.check(&run)?;
+                run
+            } else {
+                let q = REPLAYQ_SIZES[i - 1];
+                let mut engine = WarpedDmr::new(DmrConfig::default().with_replayq(q), &cfg.gpu);
+                let run = w.run_with(&cfg.gpu, &mut engine)?;
+                w.check(&run)?;
+                run
+            };
+            Ok(run.stats.cycles)
+        })?;
+    let rows: Vec<Fig9bRow> = Benchmark::ALL
+        .iter()
+        .enumerate()
+        .map(|(bi, &bench)| {
+            let c = &cycles[bi * VARIANTS..(bi + 1) * VARIANTS];
+            let base_cycles = c[0].max(1);
+            Fig9bRow {
+                benchmark: bench,
+                base_cycles,
+                normalized: std::array::from_fn(|i| c[i + 1] as f64 / base_cycles as f64),
+            }
+        })
+        .collect();
     let mut table = Table::new(vec![
         "benchmark",
         "base cycles",

@@ -17,6 +17,7 @@ pub mod fig5;
 pub mod fig8;
 pub mod fig9a;
 pub mod fig9b;
+pub mod throughput;
 
 use std::error::Error;
 use std::fmt;
@@ -71,6 +72,13 @@ pub struct ExperimentConfig {
     pub size: WorkloadSize,
     /// Simulated chip.
     pub gpu: GpuConfig,
+    /// Worker threads for the experiment fan-out (each harness runs its
+    /// independent (benchmark, config) cells through a
+    /// [`warped_runner::Runner`] of this size). Results are collected
+    /// in submission order, so output is identical for any value.
+    /// Defaults to [`warped_runner::default_threads`]
+    /// (`WARPED_THREADS` or the machine's available parallelism).
+    pub threads: usize,
 }
 
 impl ExperimentConfig {
@@ -83,6 +91,7 @@ impl ExperimentConfig {
                 num_sms: 4,
                 ..GpuConfig::default()
             },
+            threads: warped_runner::default_threads(),
         }
     }
 
@@ -92,6 +101,7 @@ impl ExperimentConfig {
         ExperimentConfig {
             size: WorkloadSize::Full,
             gpu: GpuConfig::paper(),
+            threads: warped_runner::default_threads(),
         }
     }
 
@@ -101,6 +111,20 @@ impl ExperimentConfig {
         ExperimentConfig {
             size: WorkloadSize::Tiny,
             gpu: GpuConfig::small(),
+            threads: warped_runner::default_threads(),
         }
+    }
+
+    /// A copy running the fan-out on `threads` workers (zero clamps
+    /// to one).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The job runner every harness fans out through.
+    pub fn runner(&self) -> warped_runner::Runner {
+        warped_runner::Runner::new(self.threads)
     }
 }

@@ -1,0 +1,190 @@
+//! Wall-clock throughput of the simulator and the parallel experiment
+//! engine: simulated cycles per second, and what the worker pool buys
+//! end-to-end on a figure-shaped job mix.
+//!
+//! `warped bench` (and `scripts/bench.sh`) runs the same job set twice —
+//! once on one worker, once on [`ExperimentConfig::threads`] workers —
+//! verifies the results are identical, and reports the timings as
+//! `BENCH_simulator.json`.
+
+use crate::experiments::{ExperimentConfig, ExperimentError};
+use std::time::Instant;
+use warped_core::{DmrConfig, WarpedDmr};
+use warped_kernels::Benchmark;
+use warped_runner::Runner;
+use warped_sim::NullObserver;
+
+/// One timed benchmark run of the throughput suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobResult {
+    /// The benchmark simulated.
+    pub benchmark: Benchmark,
+    /// Whether the run carried the Warped-DMR engine.
+    pub protected: bool,
+    /// Simulated kernel cycles.
+    pub cycles: u64,
+}
+
+/// The throughput report `scripts/bench.sh` serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Workload scale ("tiny", "small", or "full").
+    pub scale: String,
+    /// Worker threads of the parallel pass.
+    pub threads: usize,
+    /// Jobs in the suite (two sims per benchmark: unprotected and
+    /// Warped-DMR).
+    pub jobs: usize,
+    /// Simulated cycles summed over all jobs.
+    pub total_cycles: u64,
+    /// Wall seconds for the serial pass (one worker).
+    pub serial_seconds: f64,
+    /// Wall seconds for the parallel pass (`threads` workers).
+    pub parallel_seconds: f64,
+}
+
+impl BenchReport {
+    /// Serial time over parallel time.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_seconds <= 0.0 {
+            0.0
+        } else {
+            self.serial_seconds / self.parallel_seconds
+        }
+    }
+
+    /// Simulated cycles per wall second of the parallel pass.
+    pub fn cycles_per_second(&self) -> f64 {
+        if self.parallel_seconds <= 0.0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.parallel_seconds
+        }
+    }
+
+    /// The report as a JSON object (schema consumed by
+    /// `scripts/bench.sh` and CI dashboards).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"scale\": \"{}\",\n  \"threads\": {},\n  \"jobs\": {},\n  \
+             \"total_cycles\": {},\n  \"serial_seconds\": {:.6},\n  \
+             \"parallel_seconds\": {:.6},\n  \"speedup\": {:.3},\n  \
+             \"cycles_per_second\": {:.0}\n}}",
+            self.scale,
+            self.threads,
+            self.jobs,
+            self.total_cycles,
+            self.serial_seconds,
+            self.parallel_seconds,
+            self.speedup(),
+            self.cycles_per_second()
+        )
+    }
+}
+
+/// Simulate one job cell and return its cycle count.
+fn job(
+    cfg: &ExperimentConfig,
+    bench: Benchmark,
+    protected: bool,
+) -> Result<JobResult, ExperimentError> {
+    let w = bench.build(cfg.size)?;
+    let run = if protected {
+        let mut engine = WarpedDmr::new(DmrConfig::default(), &cfg.gpu);
+        w.run_with(&cfg.gpu, &mut engine)?
+    } else {
+        w.run_with(&cfg.gpu, &mut NullObserver)?
+    };
+    w.check(&run)?;
+    Ok(JobResult {
+        benchmark: bench,
+        protected,
+        cycles: run.stats.cycles,
+    })
+}
+
+/// Time the job suite serially and on `cfg.threads` workers.
+///
+/// # Errors
+///
+/// Propagates workload and simulator errors.
+///
+/// # Panics
+///
+/// Panics if the serial and parallel passes disagree — that would be a
+/// determinism bug in the runner, and a benchmark number derived from it
+/// would be meaningless.
+pub fn run(cfg: &ExperimentConfig) -> Result<BenchReport, ExperimentError> {
+    let cells: Vec<(Benchmark, bool)> = Benchmark::ALL
+        .into_iter()
+        .flat_map(|b| [(b, false), (b, true)])
+        .collect();
+    let work = |&(bench, protected): &(Benchmark, bool)| job(cfg, bench, protected);
+
+    let t0 = Instant::now();
+    let serial = Runner::serial().try_map(&cells, work)?;
+    let serial_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = cfg.runner().try_map(&cells, work)?;
+    let parallel_seconds = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        serial, parallel,
+        "parallel pass must be bit-identical to serial"
+    );
+    Ok(BenchReport {
+        scale: format!("{:?}", cfg.size).to_lowercase(),
+        threads: cfg.threads,
+        jobs: cells.len(),
+        total_cycles: serial.iter().map(|r| r.cycles).sum(),
+        serial_seconds,
+        parallel_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_math_and_json_shape() {
+        let r = BenchReport {
+            scale: "tiny".to_string(),
+            threads: 4,
+            jobs: 22,
+            total_cycles: 1_000_000,
+            serial_seconds: 2.0,
+            parallel_seconds: 1.0,
+        };
+        assert!((r.speedup() - 2.0).abs() < 1e-12);
+        assert!((r.cycles_per_second() - 1_000_000.0).abs() < 1e-6);
+        let json = r.to_json();
+        for key in [
+            "\"scale\"",
+            "\"threads\"",
+            "\"jobs\"",
+            "\"total_cycles\"",
+            "\"serial_seconds\"",
+            "\"parallel_seconds\"",
+            "\"speedup\"",
+            "\"cycles_per_second\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn zero_parallel_time_does_not_divide_by_zero() {
+        let r = BenchReport {
+            scale: "tiny".to_string(),
+            threads: 1,
+            jobs: 0,
+            total_cycles: 0,
+            serial_seconds: 0.0,
+            parallel_seconds: 0.0,
+        };
+        assert_eq!(r.speedup(), 0.0);
+        assert_eq!(r.cycles_per_second(), 0.0);
+    }
+}

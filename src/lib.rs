@@ -16,6 +16,8 @@
 //!   ([`warped_baselines`])
 //! * [`power`] — the analytical power/energy model ([`warped_power`])
 //! * [`stats`] — histograms and distance trackers ([`warped_stats`])
+//! * [`runner`] — the deterministic parallel job engine driving the
+//!   experiment fan-out ([`warped_runner`])
 //!
 //! ## Quickstart
 //!
@@ -45,5 +47,6 @@ pub use warped_faults as faults;
 pub use warped_isa as isa;
 pub use warped_kernels as kernels;
 pub use warped_power as power;
+pub use warped_runner as runner;
 pub use warped_sim as sim;
 pub use warped_stats as stats;

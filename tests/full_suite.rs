@@ -5,27 +5,35 @@
 use warped::baselines::Dmtr;
 use warped::dmr::{DmrConfig, ThreadCoreMapping, WarpedDmr};
 use warped::kernels::{Benchmark, WorkloadSize};
+use warped::runner::Runner;
 use warped::sim::{GpuConfig, NullObserver};
 
 fn gpu() -> GpuConfig {
     GpuConfig::small()
 }
 
+// The suite sweeps fan out through the same worker pool the experiment
+// harnesses use (`WARPED_THREADS` sizes it); per-benchmark assertion
+// panics propagate to the test like in the serial loop.
+fn suite_runner() -> Runner {
+    Runner::from_env()
+}
+
 #[test]
 fn all_benchmarks_validate_unprotected() {
-    for bench in Benchmark::ALL {
+    suite_runner().map(Benchmark::ALL, |bench| {
         let w = bench.build(WorkloadSize::Tiny).unwrap();
         let run = w.run_with(&gpu(), &mut NullObserver).unwrap();
         w.check(&run)
             .unwrap_or_else(|e| panic!("{bench} failed validation: {e}"));
         assert!(run.stats.cycles > 0, "{bench} reported zero cycles");
         assert!(run.stats.warp_instructions > 0);
-    }
+    });
 }
 
 #[test]
 fn all_benchmarks_validate_under_warped_dmr() {
-    for bench in Benchmark::ALL {
+    suite_runner().map(Benchmark::ALL, |bench| {
         let w = bench.build(WorkloadSize::Tiny).unwrap();
         let mut engine = WarpedDmr::new(DmrConfig::default(), &gpu());
         let run = w.run_with(&gpu(), &mut engine).unwrap();
@@ -40,12 +48,12 @@ fn all_benchmarks_validate_under_warped_dmr() {
             r.coverage_pct()
         );
         assert_eq!(r.errors_detected, 0, "{bench}: healthy run flagged errors");
-    }
+    });
 }
 
 #[test]
 fn all_benchmarks_validate_under_dmtr() {
-    for bench in Benchmark::ALL {
+    suite_runner().map(Benchmark::ALL, |bench| {
         let w = bench.build(WorkloadSize::Tiny).unwrap();
         let mut engine = Dmtr::new();
         let run = w.run_with(&gpu(), &mut engine).unwrap();
@@ -55,7 +63,7 @@ fn all_benchmarks_validate_under_dmtr() {
             (engine.stats.coverage_pct() - 100.0).abs() < 1e-9,
             "{bench}: DMTR must verify everything"
         );
-    }
+    });
 }
 
 #[test]
@@ -74,7 +82,7 @@ fn dmr_observers_never_change_cycle_free_results() {
 
 #[test]
 fn warped_dmr_is_cheaper_than_dmtr_on_every_benchmark() {
-    for bench in Benchmark::ALL {
+    suite_runner().map(Benchmark::ALL, |bench| {
         let w = bench.build(WorkloadSize::Tiny).unwrap();
         let mut wd = WarpedDmr::new(DmrConfig::default(), &gpu());
         let warped = w.run_with(&gpu(), &mut wd).unwrap().stats.cycles;
@@ -84,7 +92,7 @@ fn warped_dmr_is_cheaper_than_dmtr_on_every_benchmark() {
             warped <= dmtr,
             "{bench}: Warped-DMR ({warped}) costs more than DMTR ({dmtr})"
         );
-    }
+    });
 }
 
 #[test]

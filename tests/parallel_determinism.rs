@@ -1,0 +1,69 @@
+//! The parallel experiment engine's contract: the worker count changes
+//! wall-clock time, never results. A figure harness and a fault campaign
+//! must produce byte-identical output on one worker and on four.
+
+use warped::dmr::DmrConfig;
+use warped::experiments::{fig1, fig9a, ExperimentConfig};
+use warped::faults::campaign::{transient_campaign_with, CampaignOptions, Protection};
+use warped::kernels::{Benchmark, WorkloadSize};
+use warped::sim::GpuConfig;
+
+fn at_threads(threads: usize) -> ExperimentConfig {
+    ExperimentConfig::test_tiny().with_threads(threads)
+}
+
+#[test]
+fn figure_harness_is_thread_count_invariant() {
+    let (_, serial) = fig1::run(&at_threads(1)).unwrap();
+    let (_, parallel) = fig1::run(&at_threads(4)).unwrap();
+    assert_eq!(
+        serial.to_csv(),
+        parallel.to_csv(),
+        "fig1 table must be byte-identical at --threads 1 vs 4"
+    );
+}
+
+#[test]
+fn cell_fanout_harness_is_thread_count_invariant() {
+    // fig9a splits each benchmark into three config cells — the regroup
+    // step must reassemble rows identically at any worker count.
+    let (_, serial) = fig9a::run(&at_threads(1)).unwrap();
+    let (_, parallel) = fig9a::run(&at_threads(3)).unwrap();
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+#[test]
+fn fault_campaign_is_thread_count_invariant() {
+    let gpu = GpuConfig::small();
+    let w = Benchmark::Scan.build(WorkloadSize::Tiny).unwrap();
+    let dmr = DmrConfig::default();
+    // 20 trials at chunk size 8 -> chunks of 8/8/4: exercises the
+    // partial tail chunk as well.
+    let run = |threads: usize| {
+        let opts = CampaignOptions::default().with_threads(threads);
+        transient_campaign_with(&w, &gpu, &dmr, Protection::WarpedDmr, 20, 99, &opts).unwrap()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, parallel, "campaign result depends on thread count");
+    assert_eq!(serial.trials, 20);
+}
+
+#[test]
+fn campaign_chunk_size_is_the_seeding_contract() {
+    // Changing the worker count never changes the draws; changing the
+    // chunk size may (documented on CampaignOptions). Guard that the
+    // former holds even with an odd chunk size.
+    let gpu = GpuConfig::small();
+    let w = Benchmark::Scan.build(WorkloadSize::Tiny).unwrap();
+    let dmr = DmrConfig::default();
+    let run = |threads: usize| {
+        let opts = CampaignOptions {
+            chunk_trials: 3,
+            ..CampaignOptions::default()
+        }
+        .with_threads(threads);
+        transient_campaign_with(&w, &gpu, &dmr, Protection::WarpedDmr, 10, 7, &opts).unwrap()
+    };
+    assert_eq!(run(1), run(2));
+}
