@@ -21,6 +21,9 @@
 //! warped analyze <bench> [--json]  static CFG/dataflow verifier + DMR cost
 //! warped disasm <bench>           disassemble a benchmark's kernel
 //! warped trace <bench> [--count N]  print the first N issued instructions
+//! warped trace <bench> --format jsonl|chrome [--out PATH] [--invariants]
+//!                                 full cycle-level event trace (and check it)
+//! warped invariants [--check]     trace invariant suite + replay check
 //! warped run <bench> [--paper]    run one benchmark, verify, report
 //! warped figures   [--paper]      all figure harnesses, in order
 //! warped campaign  [--trials N] [--seed N]  fault campaigns (parallel chunks)
@@ -39,14 +42,15 @@
 
 use std::process::ExitCode;
 use warped::experiments::{self, ExperimentConfig, ExperimentError};
-use warped::{baselines, dmr, isa, kernels, sim};
+use warped::{baselines, dmr, isa, kernels, sim, trace};
 
 fn usage() -> &'static str {
     "usage: warped <figure1|figure5|figure8a|figure8b|figure9a|figure9b|figure10|figure11|\
      table1|config|faults|ablation|diagnose <benchmark>|analyze <benchmark>|\n\
-     disasm <benchmark>|trace <benchmark>|run <benchmark>|figures|campaign|bench|all>\n\
+     disasm <benchmark>|trace <benchmark>|invariants|run <benchmark>|figures|campaign|bench|all>\n\
      options: [--paper|--quick] [--csv] [--json] [--trials N] [--count N]\n\
-     \u{20}        [--threads N] [--seed N] [--check]\n\
+     \u{20}        [--threads N] [--seed N] [--check] [--format jsonl|chrome]\n\
+     \u{20}        [--out PATH] [--invariants]\n\
      benchmarks: BFS Nqueen MUM SCAN BitonicSort Laplace MatrixMul RadixSort SHA Libor CUFFT"
 }
 
@@ -62,6 +66,9 @@ struct Args {
     threads: Option<usize>,
     seed: u64,
     check: bool,
+    format: Option<String>,
+    out: Option<String>,
+    invariants: bool,
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -77,6 +84,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         threads: None,
         seed: 0xf417,
         check: false,
+        format: None,
+        out: None,
+        invariants: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -101,6 +111,17 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
                 let v = args.next().ok_or("--seed needs a value")?;
                 parsed.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
             }
+            "--format" => {
+                let v = args.next().ok_or("--format needs a value")?;
+                if v != "jsonl" && v != "chrome" {
+                    return Err(format!("bad format {v} (expected jsonl or chrome)"));
+                }
+                parsed.format = Some(v);
+            }
+            "--out" => {
+                parsed.out = Some(args.next().ok_or("--out needs a value")?);
+            }
+            "--invariants" => parsed.invariants = true,
             other if parsed.bench.is_none() && !other.starts_with('-') => {
                 parsed.bench = Some(other.to_string());
             }
@@ -389,6 +410,9 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
                 eprintln!("unknown benchmark {name}\n{}", usage());
                 return Ok(());
             };
+            if args.format.is_some() || args.out.is_some() || args.invariants {
+                return trace_full(bench, &cfg, args);
+            }
             heading(&format!(
                 "First {} issued instructions of {bench}",
                 args.count
@@ -399,6 +423,22 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
             for r in t.records() {
                 println!("{r}");
             }
+        }
+        "invariants" => {
+            let icfg = if args.check {
+                ExperimentConfig::test_tiny()
+                    .with_threads(warped::runner::resolve_threads(args.threads))
+            } else {
+                cfg.clone()
+            };
+            heading(&format!(
+                "Trace invariant suite ({:?} scale): I1-I5 + replay check",
+                icfg.size
+            ));
+            let (rows, t) = experiments::invariants::run(&icfg)?;
+            show(&t, args.csv);
+            experiments::invariants::require_clean(&rows)?;
+            println!("all invariants hold; every trace replays to the exact live report");
         }
         "run" => {
             let Some(name) = args.bench.as_deref() else {
@@ -471,6 +511,69 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
         other => {
             eprintln!("unknown command {other}\n{}", usage());
         }
+    }
+    Ok(())
+}
+
+/// `warped trace <bench> --format jsonl|chrome [--out PATH]
+/// [--invariants]`: record the full cycle-level event stream of one
+/// traced run, optionally check the Algorithm-1 invariants over it, and
+/// write it out (stdout when no `--out`).
+fn trace_full(
+    bench: kernels::Benchmark,
+    cfg: &ExperimentConfig,
+    args: &Args,
+) -> Result<(), ExperimentError> {
+    let format = args.format.as_deref().unwrap_or("jsonl");
+    let w = bench.build(cfg.size)?;
+    let mut engine = dmr::WarpedDmr::new(dmr::DmrConfig::default(), &cfg.gpu);
+    let (collector, handle) = trace::TraceHandle::shared(trace::CollectSink::new());
+    engine.set_trace(handle.clone());
+    let run = w.run_traced(&cfg.gpu, &mut engine, handle)?;
+    w.check(&run)?;
+    let events = collector.lock().expect("collector poisoned").take();
+
+    let io_err = |e: std::io::Error| ExperimentError::Invariant(format!("trace output: {e}"));
+    let mut payload = Vec::new();
+    if format == "chrome" {
+        let mut chrome = trace::ChromeSink::new();
+        trace::replay::feed(&events, &mut chrome);
+        chrome.write_to(&mut payload).map_err(io_err)?;
+    } else {
+        for ev in &events {
+            payload.extend_from_slice(trace::jsonl::to_line(ev).as_bytes());
+            payload.push(b'\n');
+        }
+    }
+    match args.out.as_deref() {
+        Some(path) => {
+            std::fs::write(path, &payload).map_err(io_err)?;
+            eprintln!(
+                "wrote {} events ({} bytes, {format}) to {path}",
+                events.len(),
+                payload.len()
+            );
+        }
+        None => {
+            use std::io::Write;
+            std::io::stdout().write_all(&payload).map_err(io_err)?;
+        }
+    }
+
+    if args.invariants {
+        let mut inv = trace::InvariantSink::new();
+        trace::replay::feed(&events, &mut inv);
+        if let Some(v) = inv.violations().first() {
+            return Err(ExperimentError::Invariant(format!(
+                "{bench}: {} violation(s); first: {v}",
+                inv.total_violations()
+            )));
+        }
+        eprintln!(
+            "invariants: ok ({} events, {} verifies live)",
+            inv.events_seen(),
+            engine.report().checker.total_verified()
+        );
     }
     Ok(())
 }
@@ -557,6 +660,30 @@ mod tests {
         assert!(parse(&["bench", "--threads"]).is_err());
         assert!(parse(&["bench", "--threads", "lots"]).is_err());
         assert!(parse(&["campaign", "--seed", "x"]).is_err());
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let a = parse(&[
+            "trace",
+            "SCAN",
+            "--format",
+            "chrome",
+            "--out",
+            "t.json",
+            "--invariants",
+        ])
+        .unwrap();
+        assert_eq!(a.bench.as_deref(), Some("SCAN"));
+        assert_eq!(a.format.as_deref(), Some("chrome"));
+        assert_eq!(a.out.as_deref(), Some("t.json"));
+        assert!(a.invariants);
+        let b = parse(&["trace", "SCAN"]).unwrap();
+        assert!(b.format.is_none() && b.out.is_none() && !b.invariants);
+        assert!(parse(&["trace", "SCAN", "--format", "xml"]).is_err());
+        assert!(parse(&["trace", "SCAN", "--format"]).is_err());
+        assert!(parse(&["trace", "SCAN", "--out"]).is_err());
+        assert!(parse(&["invariants", "--check"]).unwrap().check);
     }
 
     #[test]

@@ -16,12 +16,19 @@
 //!
 //! Idle issue slots verify the pending RF instruction or drain one queued
 //! entry. A consumer reading an *unverified* result stalls until its
-//! producer verifies (RAW rule). At kernel end the queue drains, one
-//! entry per cycle.
+//! producer verifies (RAW rule) — the producer may sit in the ReplayQ
+//! *or* still in the RF slot; both are equally unverified. At kernel end
+//! the queue drains, one entry per cycle.
+//!
+//! Verification timestamps are charged after any stalls of the same issue
+//! slot (`b.cycle + stalls`) and clamped strictly after the verified
+//! instruction's own issue, so the per-SM verify stream is monotone —
+//! the property `warped-trace`'s invariant layer checks online.
 
 use crate::replayq::{ReplayEntry, ReplayQ};
 use warped_isa::{Reg, UnitType};
 use warped_sim::WARP_SIZE;
+use warped_trace::{TraceEvent, TraceHandle};
 
 /// How an instruction got verified (for the coverage/overhead breakdown).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +47,14 @@ pub enum VerifyKind {
     RawStall,
     /// Drained at kernel end or into a spare slot.
     Drain,
+}
+
+impl VerifyKind {
+    /// The trace-layer kind with the same meaning (both enums declare
+    /// the kinds in the same order).
+    fn trace_kind(self) -> warped_trace::VerifyKind {
+        warped_trace::VerifyKind::ALL[self as usize]
+    }
 }
 
 /// A verification event: `entry` was verified at `cycle` via `kind`.
@@ -107,8 +122,18 @@ impl CheckerStats {
 pub struct ReplayChecker {
     queue: ReplayQ,
     prev: Option<ReplayEntry>,
+    sm_id: u32,
+    trace: TraceHandle,
     /// Behaviour counters.
     pub stats: CheckerStats,
+}
+
+/// The RF-slot RAW predicate: `p` is an unverified producer of one of
+/// `b`'s sources within the same warp.
+fn raw_conflict(p: &ReplayEntry, b: &Incoming) -> bool {
+    p.warp_uid == b.warp_uid
+        && p.dst
+            .is_some_and(|d| b.srcs.iter().flatten().any(|s| *s == d))
 }
 
 impl ReplayChecker {
@@ -117,8 +142,16 @@ impl ReplayChecker {
         ReplayChecker {
             queue: ReplayQ::new(capacity),
             prev: None,
+            sm_id: 0,
+            trace: TraceHandle::disabled(),
             stats: CheckerStats::default(),
         }
+    }
+
+    /// Route this checker's events to `trace`, identifying it as `sm_id`.
+    pub fn attach_trace(&mut self, sm_id: usize, trace: TraceHandle) {
+        self.sm_id = sm_id as u32;
+        self.trace = trace;
     }
 
     /// Current queue occupancy (diagnostics).
@@ -126,11 +159,69 @@ impl ReplayChecker {
         self.queue.len()
     }
 
-    /// Whether an instruction of `warp_uid` writing `dst` is still
-    /// unverified (pending RF slot or buffered).
+    /// Whether any instruction of `warp_uid` is still unverified (pending
+    /// RF slot or buffered). Register-agnostic; for the RAW-rule
+    /// predicate see [`ReplayChecker::has_unverified_write`].
     pub fn has_unverified(&self, warp_uid: u64) -> bool {
         self.prev.as_ref().is_some_and(|p| p.warp_uid == warp_uid)
             || self.queue.iter().any(|e| e.warp_uid == warp_uid)
+    }
+
+    /// Whether an instruction of `warp_uid` writing `reg` is still
+    /// unverified (pending RF slot or buffered) — a consumer of `reg`
+    /// would trigger the RAW rule.
+    pub fn has_unverified_write(&self, warp_uid: u64, reg: Reg) -> bool {
+        self.prev
+            .as_ref()
+            .is_some_and(|p| p.warp_uid == warp_uid && p.dst == Some(reg))
+            || self
+                .queue
+                .iter()
+                .any(|e| e.warp_uid == warp_uid && e.dst == Some(reg))
+    }
+
+    /// Record one verification: bump counters, emit the trace event, and
+    /// push the comparator event. The timestamp is clamped strictly after
+    /// the verified instruction's issue (dual-issue can resolve the RF
+    /// slot in the issue cycle itself).
+    fn verify(
+        &mut self,
+        entry: ReplayEntry,
+        kind: VerifyKind,
+        cycle: u64,
+        events: &mut Vec<VerifyEvent>,
+    ) {
+        let cycle = cycle.max(entry.cycle + 1);
+        self.stats.bump(kind);
+        self.trace.emit(|| TraceEvent::Verify {
+            sm: self.sm_id,
+            cycle,
+            warp: entry.warp_uid,
+            unit: entry.unit,
+            dst: entry.dst,
+            kind: kind.trace_kind(),
+            issued: entry.cycle,
+            active: entry.mask.count_ones(),
+        });
+        events.push(VerifyEvent { entry, kind, cycle });
+    }
+
+    /// Buffer `a` in the ReplayQ (the caller checked it is not full).
+    fn enqueue(&mut self, a: ReplayEntry, cycle: u64) {
+        let (warp, unit, dst) = (a.warp_uid, a.unit, a.dst);
+        self.queue.push(a);
+        self.stats.enqueued += 1;
+        let depth = self.queue.len() as u32;
+        let capacity = self.queue.capacity() as u32;
+        self.trace.emit(|| TraceEvent::Enqueue {
+            sm: self.sm_id,
+            cycle,
+            warp,
+            unit,
+            dst,
+            depth,
+            capacity,
+        });
     }
 
     /// Process one issued instruction. Pushes verification events and
@@ -139,59 +230,38 @@ impl ReplayChecker {
         let mut stalls = 0u64;
 
         // RAW on unverified results: verify every conflicting producer
-        // first, one stall cycle each (paper §4.3).
+        // first, one stall cycle each (paper §4.3). Producers can sit in
+        // the ReplayQ or still in the RF slot — both are unverified.
         while let Some(e) = self.queue.take_raw_hazard(b.warp_uid, &b.srcs) {
             stalls += 1;
-            self.stats.bump(VerifyKind::RawStall);
-            events.push(VerifyEvent {
-                entry: e,
-                kind: VerifyKind::RawStall,
-                cycle: b.cycle + stalls,
-            });
+            self.verify(e, VerifyKind::RawStall, b.cycle + stalls, events);
+        }
+        if self.prev.as_ref().is_some_and(|p| raw_conflict(p, b)) {
+            let p = self.prev.take().expect("checked above");
+            stalls += 1;
+            self.verify(p, VerifyKind::RawStall, b.cycle + stalls, events);
         }
 
         if let Some(a) = self.prev.take() {
             if a.unit != b.unit {
                 // Case 1: co-execute the DMR copy of A on its idle unit.
-                self.stats.bump(VerifyKind::CoExecute);
-                events.push(VerifyEvent {
-                    entry: a,
-                    kind: VerifyKind::CoExecute,
-                    cycle: b.cycle,
-                });
+                self.verify(a, VerifyKind::CoExecute, b.cycle + stalls, events);
             } else if let Some(q) = self.queue.take_different_type(a.unit) {
                 // Case 2: a queued different-type entry verifies now;
                 // A takes its place in the queue.
-                self.stats.bump(VerifyKind::QueueCoExecute);
-                events.push(VerifyEvent {
-                    entry: q,
-                    kind: VerifyKind::QueueCoExecute,
-                    cycle: b.cycle,
-                });
-                self.queue.push(a);
-                self.stats.enqueued += 1;
+                self.verify(q, VerifyKind::QueueCoExecute, b.cycle + stalls, events);
+                self.enqueue(a, b.cycle);
             } else if self.queue.is_full() {
                 // Case 3: stall one cycle, re-execute eagerly.
                 stalls += 1;
-                self.stats.bump(VerifyKind::EagerStall);
-                events.push(VerifyEvent {
-                    entry: a,
-                    kind: VerifyKind::EagerStall,
-                    cycle: b.cycle + 1,
-                });
+                self.verify(a, VerifyKind::EagerStall, b.cycle + stalls, events);
             } else {
                 // Case 4: buffer for later.
-                self.queue.push(a);
-                self.stats.enqueued += 1;
+                self.enqueue(a, b.cycle);
             }
         } else if let Some(q) = self.queue.take_different_type(b.unit) {
             // Spare verification slot: drain one compatible entry.
-            self.stats.bump(VerifyKind::Drain);
-            events.push(VerifyEvent {
-                entry: q,
-                kind: VerifyKind::Drain,
-                cycle: b.cycle,
-            });
+            self.verify(q, VerifyKind::Drain, b.cycle + stalls, events);
         }
 
         if b.needs_inter {
@@ -206,6 +276,14 @@ impl ReplayChecker {
         }
         self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
         self.stats.stall_cycles += stalls;
+        if stalls > 0 {
+            self.trace.emit(|| TraceEvent::Stall {
+                sm: self.sm_id,
+                cycle: b.cycle,
+                warp: b.warp_uid,
+                cycles: stalls,
+            });
+        }
         stalls
     }
 
@@ -213,19 +291,9 @@ impl ReplayChecker {
     /// instruction (or one queued entry) verifies for free.
     pub fn on_idle(&mut self, cycle: u64, events: &mut Vec<VerifyEvent>) {
         if let Some(a) = self.prev.take() {
-            self.stats.bump(VerifyKind::IdleSlot);
-            events.push(VerifyEvent {
-                entry: a,
-                kind: VerifyKind::IdleSlot,
-                cycle,
-            });
+            self.verify(a, VerifyKind::IdleSlot, cycle, events);
         } else if let Some(q) = self.queue.take_any() {
-            self.stats.bump(VerifyKind::Drain);
-            events.push(VerifyEvent {
-                entry: q,
-                kind: VerifyKind::Drain,
-                cycle,
-            });
+            self.verify(q, VerifyKind::Drain, cycle, events);
         }
     }
 
@@ -234,22 +302,12 @@ impl ReplayChecker {
     /// appended to the SM's completion time.
     pub fn on_done(&mut self, cycle: u64, events: &mut Vec<VerifyEvent>) -> u64 {
         if let Some(a) = self.prev.take() {
-            self.stats.bump(VerifyKind::IdleSlot);
-            events.push(VerifyEvent {
-                entry: a,
-                kind: VerifyKind::IdleSlot,
-                cycle,
-            });
+            self.verify(a, VerifyKind::IdleSlot, cycle, events);
         }
         let mut extra = 0;
         while let Some(q) = self.queue.take_any() {
             extra += 1;
-            self.stats.bump(VerifyKind::Drain);
-            events.push(VerifyEvent {
-                entry: q,
-                kind: VerifyKind::Drain,
-                cycle: cycle + extra,
-            });
+            self.verify(q, VerifyKind::Drain, cycle + extra, events);
         }
         self.stats.drain_cycles += extra;
         extra
@@ -357,12 +415,160 @@ mod tests {
         // Another same-type instruction pushes the producer into the queue.
         c.on_issue(&incoming(7, UnitType::Sp, 1, true), &mut ev);
         assert!(c.has_unverified(7));
+        assert!(c.has_unverified_write(7, Reg(5)));
         // A consumer of r5 in the same warp must stall.
         let mut consumer = incoming(7, UnitType::Sp, 9, true);
         consumer.srcs = [Some(Reg(5)), None, None, None];
         let stalls = c.on_issue(&consumer, &mut ev);
         assert_eq!(stalls, 1);
         assert_eq!(c.stats.verified[VerifyKind::RawStall as usize], 1);
+        assert!(!c.has_unverified_write(7, Reg(5)));
+    }
+
+    #[test]
+    fn raw_hazard_on_rf_slot_producer_also_stalls() {
+        // Regression: the producer is still in the RF slot (`prev`), not
+        // yet in the ReplayQ. Its consumer must stall and force-verify it
+        // exactly like a queued producer; the pre-fix checker scanned
+        // only the queue and issued the consumer with no stall.
+        let mut c = ReplayChecker::new(10);
+        let mut ev = Vec::new();
+        let mut producer = incoming(7, UnitType::Sp, 0, true);
+        producer.dst = Some(Reg(5));
+        c.on_issue(&producer, &mut ev);
+        assert!(c.has_unverified_write(7, Reg(5)));
+
+        let mut consumer = incoming(7, UnitType::Sp, 1, true);
+        consumer.srcs = [Some(Reg(5)), None, None, None];
+        let stalls = c.on_issue(&consumer, &mut ev);
+        assert_eq!(stalls, 1, "RF-slot producer must charge a RAW stall");
+        assert_eq!(c.stats.verified[VerifyKind::RawStall as usize], 1);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].entry.warp_uid, 7);
+        assert_eq!(ev[0].entry.cycle, 0, "the producer, not the consumer");
+        assert_eq!(ev[0].cycle, 2, "verified behind the stall (cycle 1+1)");
+        // The producer left the RF slot — it must not verify again.
+        c.on_done(10, &mut ev);
+        assert_eq!(c.stats.verified[VerifyKind::RawStall as usize], 1);
+        assert_eq!(
+            c.stats.total_verified(),
+            2,
+            "producer (raw) + consumer (idle at done)"
+        );
+    }
+
+    #[test]
+    fn rf_slot_raw_checks_registers_not_just_warp() {
+        // Same warp, but the consumer reads a different register: no
+        // hazard, the RF instruction resolves through the normal cases.
+        let mut c = ReplayChecker::new(10);
+        let mut ev = Vec::new();
+        let mut producer = incoming(7, UnitType::Sp, 0, true);
+        producer.dst = Some(Reg(5));
+        c.on_issue(&producer, &mut ev);
+        let mut consumer = incoming(7, UnitType::LdSt, 1, true);
+        consumer.srcs = [Some(Reg(6)), None, None, None];
+        let stalls = c.on_issue(&consumer, &mut ev);
+        assert_eq!(stalls, 0);
+        assert_eq!(c.stats.verified[VerifyKind::CoExecute as usize], 1);
+        assert_eq!(c.stats.verified[VerifyKind::RawStall as usize], 0);
+    }
+
+    #[test]
+    fn verify_timestamps_account_for_raw_stalls() {
+        // Regression: a co-execution resolving in the same slot as a RAW
+        // stall must be charged after the stall, not at the raw issue
+        // cycle. Pre-fix, the RawStall landed at cycle 3 but the
+        // CoExecute at cycle 2 — time ran backwards.
+        let mut c = ReplayChecker::new(10);
+        let mut ev = Vec::new();
+        let mut producer = incoming(7, UnitType::Sp, 0, true);
+        producer.dst = Some(Reg(5));
+        c.on_issue(&producer, &mut ev);
+        // Same-type instruction pushes the producer into the queue and
+        // becomes the new RF occupant.
+        let mut other = incoming(7, UnitType::Sp, 1, true);
+        other.dst = Some(Reg(6));
+        c.on_issue(&other, &mut ev);
+        // Different-type consumer of r5: queue-RAW verifies the producer
+        // behind a stall, then the RF occupant co-executes (case 1).
+        let mut consumer = incoming(7, UnitType::LdSt, 2, true);
+        consumer.srcs = [Some(Reg(5)), None, None, None];
+        let stalls = c.on_issue(&consumer, &mut ev);
+        assert_eq!(stalls, 1);
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].kind, VerifyKind::RawStall);
+        assert_eq!(ev[0].cycle, 3);
+        assert_eq!(ev[1].kind, VerifyKind::CoExecute);
+        assert_eq!(ev[1].cycle, 3, "co-execution happens after the stall");
+    }
+
+    #[test]
+    fn verify_cycle_is_strictly_after_issue() {
+        // Dual-issue resolves the RF slot in the issue cycle itself; the
+        // verification must still be stamped strictly later.
+        let mut c = ReplayChecker::new(10);
+        let mut ev = Vec::new();
+        c.on_issue(&incoming(0, UnitType::Sp, 5, true), &mut ev);
+        c.on_issue(&incoming(1, UnitType::LdSt, 5, true), &mut ev);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].entry.cycle, 5);
+        assert_eq!(ev[0].cycle, 6);
+    }
+
+    #[test]
+    fn verify_timestamps_are_monotone_over_random_sequences() {
+        // LCG-driven pseudo-random instruction streams: whatever the
+        // interleaving of units, registers, and idle slots, the verify
+        // timestamps the checker emits must never decrease and must be
+        // strictly after their instruction's issue.
+        let mut seed: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for trial in 0..50 {
+            let mut c = ReplayChecker::new((trial % 7) as usize);
+            let mut ev = Vec::new();
+            let mut cycle = 0u64;
+            for _ in 0..200 {
+                let r = next();
+                if r % 5 == 0 {
+                    c.on_idle(cycle, &mut ev);
+                } else {
+                    let unit = UnitType::ALL[(r % 3) as usize];
+                    let mut b = incoming(r % 4, unit, cycle, r % 7 != 0);
+                    b.dst = Some(Reg((r % 8) as u16));
+                    b.srcs = [
+                        Some(Reg(((r >> 3) % 8) as u16)),
+                        ((r >> 6) % 2 == 0).then_some(Reg(((r >> 7) % 8) as u16)),
+                        None,
+                        None,
+                    ];
+                    cycle += c.on_issue(&b, &mut ev);
+                }
+                cycle += 1;
+            }
+            c.on_done(cycle, &mut ev);
+            let mut last = 0u64;
+            for e in &ev {
+                assert!(
+                    e.cycle > e.entry.cycle,
+                    "trial {trial}: verify at {} not after issue at {}",
+                    e.cycle,
+                    e.entry.cycle
+                );
+                assert!(
+                    e.cycle >= last,
+                    "trial {trial}: verify went backwards {} -> {}",
+                    last,
+                    e.cycle
+                );
+                last = e.cycle;
+            }
+        }
     }
 
     #[test]

@@ -9,17 +9,9 @@ use crate::mapping::physical_lane;
 use crate::shuffle::verify_lane;
 use std::collections::HashMap;
 use warped_sim::{GpuConfig, IssueInfo, IssueObserver, WARP_SIZE};
-
-/// Fig. 1 bucket index for an active-lane count.
-fn bucket_of(active: u32) -> usize {
-    match active {
-        0..=1 => 0,
-        2..=11 => 1,
-        12..=21 => 2,
-        22..=31 => 3,
-        _ => 4,
-    }
-}
+// The Fig. 1 bucket edges live in the trace layer so the live engine and
+// the trace-replay path can never disagree on them.
+use warped_trace::{bucket_of, MetricsSink, TraceEvent, TraceHandle};
 
 /// Coverage and overhead summary of one protected run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -104,6 +96,31 @@ impl DmrReport {
             self.partially_checked_instrs as f64 / total as f64
         }
     }
+
+    /// Rebuild a report from a replayed trace's metrics registry. For a
+    /// complete trace of a run this reproduces the live report
+    /// bit-for-bit (`warped invariants` asserts it per benchmark).
+    pub fn from_metrics(m: &MetricsSink) -> DmrReport {
+        DmrReport {
+            total_thread_instrs: m.total_thread_instrs,
+            intra_covered: m.intra_covered,
+            inter_covered: m.inter_covered,
+            partial_instrs: m.partial_instrs,
+            full_instrs: m.full_instrs,
+            partially_checked_instrs: m.partially_checked_instrs,
+            unchecked_partial_instrs: m.unchecked_partial_instrs,
+            bucket_total: m.bucket_total,
+            bucket_covered: m.bucket_covered,
+            checker: CheckerStats {
+                verified: m.verified,
+                enqueued: m.enqueued,
+                stall_cycles: m.stall_cycles,
+                drain_cycles: m.drain_cycles,
+                max_queue: m.max_queue as usize,
+            },
+            errors_detected: m.errors_detected,
+        }
+    }
 }
 
 /// The Warped-DMR engine. Attach it to a launch as an
@@ -115,6 +132,7 @@ pub struct WarpedDmr {
     report: DmrReport,
     errors: ErrorLog,
     oracle: Option<Box<dyn FaultOracle>>,
+    trace: TraceHandle,
     // `intra::plan` is pure in (mask, config); kernels reuse a handful
     // of masks across millions of issues, so memoizing removes the
     // pairing computation (and its Vec builds) from the issue hot path.
@@ -148,8 +166,19 @@ impl WarpedDmr {
             report: DmrReport::default(),
             errors: ErrorLog::default(),
             oracle: None,
+            trace: TraceHandle::disabled(),
             plan_cache: HashMap::new(),
         }
+    }
+
+    /// Route the engine's events (intra-warp pairings, checker activity,
+    /// comparator detections) to `trace`. Attach the same handle to the
+    /// [`Gpu`](warped_sim::Gpu) via `set_trace` for the full stream.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        for (i, c) in self.checkers.iter_mut().enumerate() {
+            c.attach_trace(i, trace.clone());
+        }
+        self.trace = trace;
     }
 
     /// Create an engine whose comparator sees hardware through `oracle`
@@ -191,10 +220,11 @@ impl WarpedDmr {
     }
 
     fn checker(&mut self, sm: usize) -> &mut ReplayChecker {
-        if self.checkers.len() <= sm {
-            let cap = self.config.replayq_entries;
-            self.checkers
-                .resize_with(sm + 1, || ReplayChecker::new(cap));
+        let cap = self.config.replayq_entries;
+        while self.checkers.len() <= sm {
+            let mut c = ReplayChecker::new(cap);
+            c.attach_trace(self.checkers.len(), self.trace.clone());
+            self.checkers.push(c);
         }
         &mut self.checkers[sm]
     }
@@ -214,7 +244,7 @@ impl WarpedDmr {
                     let orig =
                         physical_lane(self.config.mapping, t, WARP_SIZE, self.config.cluster_size);
                     let ver = verify_lane(orig, self.config.cluster_size, self.config.lane_shuffle);
-                    compare_and_log(
+                    if compare_and_log(
                         oracle,
                         &mut self.errors,
                         sm,
@@ -224,7 +254,14 @@ impl WarpedDmr {
                         ev.entry.cycle,
                         ver,
                         ev.cycle,
-                    );
+                    ) {
+                        self.trace.emit(|| TraceEvent::Error {
+                            sm: sm as u32,
+                            cycle: ev.cycle,
+                            warp: ev.entry.warp_uid,
+                            lane: orig as u32,
+                        });
+                    }
                 }
             }
         }
@@ -260,9 +297,17 @@ impl IssueObserver for WarpedDmr {
             } else if plan.covered < plan.active {
                 self.report.partially_checked_instrs += 1;
             }
+            let (p_active, p_covered) = (plan.active, plan.covered);
+            self.trace.emit(|| TraceEvent::IntraPair {
+                sm: info.sm_id as u32,
+                cycle: info.cycle,
+                warp: info.warp_uid,
+                active: p_active,
+                covered: p_covered,
+            });
             if let Some(oracle) = self.oracle.as_deref() {
                 for (ver, act, thread) in &plan.pairs {
-                    compare_and_log(
+                    if compare_and_log(
                         oracle,
                         &mut self.errors,
                         info.sm_id,
@@ -272,7 +317,14 @@ impl IssueObserver for WarpedDmr {
                         info.cycle,
                         *ver,
                         info.cycle,
-                    );
+                    ) {
+                        self.trace.emit(|| TraceEvent::Error {
+                            sm: info.sm_id as u32,
+                            cycle: info.cycle,
+                            warp: info.warp_uid,
+                            lane: *act as u32,
+                        });
+                    }
                 }
             }
         }

@@ -237,6 +237,24 @@ impl Workload {
         self.inner.execute(&mut gpu, observer)
     }
 
+    /// Run on a fresh GPU with cycle-level tracing attached. Give the
+    /// observer (e.g. a `WarpedDmr` engine) a clone of the same handle
+    /// for the full stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_traced(
+        &self,
+        config: &GpuConfig,
+        observer: &mut dyn IssueObserver,
+        trace: warped_trace::TraceHandle,
+    ) -> Result<ProgramRun, SimError> {
+        let mut gpu = Gpu::new(config.clone());
+        gpu.set_trace(trace);
+        self.inner.execute(&mut gpu, observer)
+    }
+
     /// Run on an existing GPU (memory is reset first).
     ///
     /// # Errors

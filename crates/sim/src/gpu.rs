@@ -6,6 +6,7 @@ use crate::memory::GlobalMemory;
 use crate::observer::IssueObserver;
 use crate::sm::{Sm, StepOutcome};
 use warped_isa::Kernel;
+use warped_trace::{TraceEvent, TraceHandle};
 
 /// The simulated GPU: configuration plus device-global memory.
 ///
@@ -40,6 +41,8 @@ pub struct Gpu {
     config: GpuConfig,
     global: GlobalMemory,
     block_redundancy: u32,
+    trace: TraceHandle,
+    launch_seq: u32,
 }
 
 impl Gpu {
@@ -56,7 +59,16 @@ impl Gpu {
             config,
             global,
             block_redundancy: 1,
+            trace: TraceHandle::disabled(),
+            launch_seq: 0,
         }
+    }
+
+    /// Route cycle-level events of subsequent launches to `trace`. SM
+    /// cycle counters restart at zero on every launch; a `LaunchBegin`
+    /// event marks each boundary.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Execute every logical thread block `copies` times per launch
@@ -132,8 +144,18 @@ impl Gpu {
             });
         }
 
+        let launch_index = self.launch_seq;
+        self.launch_seq += 1;
+        self.trace.emit(|| TraceEvent::LaunchBegin {
+            index: launch_index,
+        });
+
         let mut sms: Vec<Sm> = (0..self.config.num_sms)
-            .map(|i| Sm::new(i, self.config.clone()))
+            .map(|i| {
+                let mut sm = Sm::new(i, self.config.clone());
+                sm.set_trace(self.trace.clone());
+                sm
+            })
             .collect();
 
         // Pending blocks in row-major order, handed out on demand.
@@ -183,6 +205,13 @@ impl Gpu {
                         let drain = observer.on_sm_done(i, cycle);
                         finish[i] = cycle + drain;
                         done[i] = true;
+                        // Stamped at the finish time (drain included) so
+                        // it sorts after the checker's drain verifies.
+                        self.trace.emit(|| TraceEvent::SmDone {
+                            sm: i as u32,
+                            cycle: cycle + drain,
+                            drained: drain,
+                        });
                     }
                     continue;
                 }
@@ -209,6 +238,11 @@ impl Gpu {
                 debug_assert!(!sm.has_work());
                 let drain = observer.on_sm_done(i, cycle);
                 finish[i] = cycle + drain;
+                self.trace.emit(|| TraceEvent::SmDone {
+                    sm: i as u32,
+                    cycle: cycle + drain,
+                    drained: drain,
+                });
             }
         }
 

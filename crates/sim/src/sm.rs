@@ -14,6 +14,7 @@ use crate::memory::{GlobalMemory, SharedMemory};
 use crate::observer::{IssueInfo, IssueObserver};
 use crate::warp::Warp;
 use warped_isa::{Instruction, Kernel, Operand, Space, SpecialReg, UnitType};
+use warped_trace::{TraceEvent, TraceHandle};
 
 /// A block resident on an SM.
 #[derive(Debug)]
@@ -66,6 +67,7 @@ pub struct Sm {
     block_slots: Vec<Option<BlockState>>,
     rr_next: usize,
     stall_cycles_left: u64,
+    trace: TraceHandle,
     /// Statistics accumulated so far.
     pub stats: SmStats,
 }
@@ -93,8 +95,14 @@ impl Sm {
             block_slots: (0..blocks).map(|_| None).collect(),
             rr_next: 0,
             stall_cycles_left: 0,
+            trace: TraceHandle::disabled(),
             stats: SmStats::default(),
         }
+    }
+
+    /// Route this SM's cycle-level events to `trace`.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Whether any block is resident.
@@ -237,6 +245,10 @@ impl Sm {
             self.stall_cycles_left = total_stalls;
             return Ok(StepOutcome::Issued);
         }
+        self.trace.emit(|| TraceEvent::Idle {
+            sm: self.id as u32,
+            cycle,
+        });
         observer.on_idle(self.id, cycle);
         self.stats.idle_cycles += 1;
         Ok(StepOutcome::Idle)
@@ -513,6 +525,20 @@ impl Sm {
             has_result,
             raw_dists,
         };
+        // Emitted before the observers run so the checker events of this
+        // issue slot follow their Issue in the stream.
+        self.trace.emit(|| TraceEvent::Issue {
+            sm: self.id as u32,
+            cycle,
+            warp: info.warp_uid,
+            pc: pc.0,
+            unit,
+            active: mask.count_ones(),
+            full: mask == u32::MAX,
+            has_result,
+            dst: instr.dst(),
+            srcs: instr.src_regs(),
+        });
         let stalls = observer.on_issue(&info);
 
         if warp.is_done() {

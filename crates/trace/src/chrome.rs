@@ -1,0 +1,127 @@
+//! Chrome `about:tracing` / Perfetto export.
+//!
+//! Each trace event becomes a one-cycle "complete" (`"ph":"X"`) slice
+//! with `ts` = cycle, `pid` = SM, `tid` = warp (0 for SM-wide events),
+//! so loading the file shows per-SM swimlanes with one row per warp.
+
+use crate::event::{unit_str, TraceEvent};
+use crate::jsonl::to_line;
+use crate::sink::TraceSink;
+use std::io::Write;
+
+/// Collects events and writes them out in Chrome trace-event JSON.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeSink {
+    events: Vec<TraceEvent>,
+}
+
+impl ChromeSink {
+    /// Create an empty exporter.
+    pub fn new() -> Self {
+        ChromeSink::default()
+    }
+
+    /// Number of collected events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Write the collected events as a `{"traceEvents": [...]}` document.
+    pub fn write_to(&self, out: &mut dyn Write) -> std::io::Result<()> {
+        writeln!(out, "{{\"traceEvents\":[")?;
+        let mut launch = 0u32;
+        for (i, ev) in self.events.iter().enumerate() {
+            let comma = if i + 1 == self.events.len() { "" } else { "," };
+            if let TraceEvent::LaunchBegin { index } = ev {
+                launch = *index;
+                writeln!(
+                    out,
+                    "{{\"name\":\"launch {index}\",\"ph\":\"i\",\"s\":\"g\",\"ts\":0,\"pid\":0,\"tid\":0}}{comma}"
+                )?;
+                continue;
+            }
+            let (name, tid) = slice_name(ev);
+            let sm = ev.sm().unwrap_or(0);
+            let ts = ev.cycle().unwrap_or(0);
+            writeln!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":1,\"pid\":{sm},\"tid\":{tid},\"args\":{{\"launch\":{launch},\"event\":{}}}}}{comma}",
+                json_str(&to_line(ev)),
+            )?;
+        }
+        writeln!(out, "]}}")
+    }
+}
+
+/// Slice label and thread id (warp uid, or 0 for SM-wide events).
+fn slice_name(ev: &TraceEvent) -> (String, u64) {
+    match ev {
+        TraceEvent::LaunchBegin { index } => (format!("launch {index}"), 0),
+        TraceEvent::Issue { warp, unit, .. } => (format!("issue {}", unit_str(*unit)), *warp),
+        TraceEvent::IntraPair { warp, .. } => ("intra-pair".into(), *warp),
+        TraceEvent::Enqueue { warp, depth, .. } => (format!("enqueue d={depth}"), *warp),
+        TraceEvent::Verify { warp, kind, .. } => (format!("verify {}", kind.as_str()), *warp),
+        TraceEvent::Stall { warp, cycles, .. } => (format!("stall {cycles}"), *warp),
+        TraceEvent::Idle { .. } => ("idle".into(), 0),
+        TraceEvent::SmDone { drained, .. } => (format!("done drain={drained}"), 0),
+        TraceEvent::Error { warp, lane, .. } => (format!("error lane {lane}"), *warp),
+    }
+}
+
+/// Quote a string as a JSON string literal (the JSONL lines we embed only
+/// need quote escaping).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl TraceSink for ChromeSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_is_well_formed() {
+        let mut sink = ChromeSink::new();
+        sink.event(&TraceEvent::LaunchBegin { index: 0 });
+        sink.event(&TraceEvent::Idle { sm: 1, cycle: 3 });
+        sink.event(&TraceEvent::Stall {
+            sm: 0,
+            cycle: 5,
+            warp: 2,
+            cycles: 1,
+        });
+        let mut buf = Vec::new();
+        sink.write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("launch 0"));
+        // every slice line but the last inside the array ends with a comma
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].ends_with(','));
+        assert!(lines[2].ends_with(','));
+        assert!(!lines[3].ends_with(','));
+    }
+}

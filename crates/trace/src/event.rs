@@ -1,0 +1,278 @@
+//! The typed event vocabulary of the trace layer.
+//!
+//! One event per observable pipeline fact: warp-instruction issue,
+//! intra-warp DMR pairing, Replay-Checker enqueue / verification / stall,
+//! SM idle slots and completion, comparator detections, and launch
+//! boundaries (cycles restart at zero on each kernel launch).
+
+use warped_isa::{Reg, UnitType};
+
+/// How an instruction got verified — mirrors the Replay Checker's
+/// `VerifyKind` in `warped-core`, declared in the same order so the two
+/// can be mapped by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyKind {
+    /// Co-executed with a different-type successor (Algorithm 1 case 1).
+    CoExecute,
+    /// Dequeued alongside a different-type instruction (case 2).
+    QueueCoExecute,
+    /// Verified in an idle issue slot.
+    IdleSlot,
+    /// ReplayQ full: eager re-execution behind a stall (case 3).
+    EagerStall,
+    /// Forced verification of an unverified producer before a dependent
+    /// consumer proceeds (RAW rule).
+    RawStall,
+    /// Drained at kernel end or into a spare slot.
+    Drain,
+}
+
+impl VerifyKind {
+    /// All kinds, in declaration order (stable indices for counters).
+    pub const ALL: [VerifyKind; 6] = [
+        VerifyKind::CoExecute,
+        VerifyKind::QueueCoExecute,
+        VerifyKind::IdleSlot,
+        VerifyKind::EagerStall,
+        VerifyKind::RawStall,
+        VerifyKind::Drain,
+    ];
+
+    /// Stable counter index (declaration order).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Wire name used by the JSONL format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VerifyKind::CoExecute => "coexec",
+            VerifyKind::QueueCoExecute => "queue_coexec",
+            VerifyKind::IdleSlot => "idle_slot",
+            VerifyKind::EagerStall => "eager_stall",
+            VerifyKind::RawStall => "raw_stall",
+            VerifyKind::Drain => "drain",
+        }
+    }
+
+    /// Parse a wire name back.
+    pub fn from_wire(s: &str) -> Option<VerifyKind> {
+        VerifyKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+/// Wire name of a unit type.
+pub fn unit_str(u: UnitType) -> &'static str {
+    match u {
+        UnitType::Sp => "sp",
+        UnitType::Sfu => "sfu",
+        UnitType::LdSt => "ldst",
+    }
+}
+
+/// Parse a unit-type wire name.
+pub fn unit_from_str(s: &str) -> Option<UnitType> {
+    UnitType::ALL.into_iter().find(|u| unit_str(*u) == s)
+}
+
+/// One cycle-level pipeline event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A kernel launch started on the GPU; SM cycle counters restart at
+    /// zero. `index` counts launches of this `Gpu` instance.
+    LaunchBegin {
+        /// Launch sequence number (0-based).
+        index: u32,
+    },
+    /// A warp-instruction issued (emitted before the observers run, so
+    /// checker events for the same slot follow it).
+    Issue {
+        /// Issuing SM.
+        sm: u32,
+        /// Issue cycle.
+        cycle: u64,
+        /// Global warp uid.
+        warp: u64,
+        /// Program counter.
+        pc: u32,
+        /// Execution unit.
+        unit: UnitType,
+        /// Active lanes.
+        active: u32,
+        /// Whether all lanes were active.
+        full: bool,
+        /// Whether the instruction produces a verifiable result.
+        has_result: bool,
+        /// Destination register, if any.
+        dst: Option<Reg>,
+        /// Source registers.
+        srcs: [Option<Reg>; 4],
+    },
+    /// Intra-warp DMR paired idle lanes against active lanes.
+    IntraPair {
+        /// SM of the issue slot.
+        sm: u32,
+        /// Issue cycle (pairing is same-cycle).
+        cycle: u64,
+        /// Global warp uid.
+        warp: u64,
+        /// Active lanes in the warp.
+        active: u32,
+        /// Active lanes that got a verifier.
+        covered: u32,
+    },
+    /// The Replay Checker buffered an unverified instruction.
+    Enqueue {
+        /// SM of the checker.
+        sm: u32,
+        /// Cycle of the triggering issue slot.
+        cycle: u64,
+        /// Warp of the buffered instruction.
+        warp: u64,
+        /// Unit type the verification will need.
+        unit: UnitType,
+        /// Destination register of the buffered instruction.
+        dst: Option<Reg>,
+        /// Queue occupancy after the push.
+        depth: u32,
+        /// Queue capacity (occupancy must never exceed it).
+        capacity: u32,
+    },
+    /// The Replay Checker verified an instruction.
+    Verify {
+        /// SM of the checker.
+        sm: u32,
+        /// Cycle of the redundant execution.
+        cycle: u64,
+        /// Warp of the verified instruction.
+        warp: u64,
+        /// Unit the copy ran on.
+        unit: UnitType,
+        /// Destination register of the verified instruction.
+        dst: Option<Reg>,
+        /// How the verification slot was obtained.
+        kind: VerifyKind,
+        /// Original issue cycle of the verified instruction.
+        issued: u64,
+        /// Active lanes of the verified instruction.
+        active: u32,
+    },
+    /// The checker charged stall cycles for one issue slot.
+    Stall {
+        /// Stalling SM.
+        sm: u32,
+        /// Cycle of the issue slot that stalled.
+        cycle: u64,
+        /// Warp whose issue paid the stall.
+        warp: u64,
+        /// Stall cycles charged.
+        cycles: u64,
+    },
+    /// An SM with resident work issued nothing this cycle.
+    Idle {
+        /// Idle SM.
+        sm: u32,
+        /// The idle cycle.
+        cycle: u64,
+    },
+    /// An SM ran out of work and drained its checker.
+    SmDone {
+        /// Finished SM.
+        sm: u32,
+        /// Completion cycle *including* the drain.
+        cycle: u64,
+        /// Drain cycles appended to the SM's finish time.
+        drained: u64,
+    },
+    /// The comparator detected a mismatch.
+    Error {
+        /// SM where the comparator fired.
+        sm: u32,
+        /// Cycle of the verification.
+        cycle: u64,
+        /// Warp whose instruction mismatched.
+        warp: u64,
+        /// Lane that executed the original computation.
+        lane: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Short tag naming the event type (the JSONL `ev` field).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::LaunchBegin { .. } => "launch",
+            TraceEvent::Issue { .. } => "issue",
+            TraceEvent::IntraPair { .. } => "intra",
+            TraceEvent::Enqueue { .. } => "enq",
+            TraceEvent::Verify { .. } => "verify",
+            TraceEvent::Stall { .. } => "stall",
+            TraceEvent::Idle { .. } => "idle",
+            TraceEvent::SmDone { .. } => "done",
+            TraceEvent::Error { .. } => "error",
+        }
+    }
+
+    /// The SM the event belongs to (`None` for launch boundaries).
+    pub fn sm(&self) -> Option<u32> {
+        match self {
+            TraceEvent::LaunchBegin { .. } => None,
+            TraceEvent::Issue { sm, .. }
+            | TraceEvent::IntraPair { sm, .. }
+            | TraceEvent::Enqueue { sm, .. }
+            | TraceEvent::Verify { sm, .. }
+            | TraceEvent::Stall { sm, .. }
+            | TraceEvent::Idle { sm, .. }
+            | TraceEvent::SmDone { sm, .. }
+            | TraceEvent::Error { sm, .. } => Some(*sm),
+        }
+    }
+
+    /// The event's cycle (`None` for launch boundaries).
+    pub fn cycle(&self) -> Option<u64> {
+        match self {
+            TraceEvent::LaunchBegin { .. } => None,
+            TraceEvent::Issue { cycle, .. }
+            | TraceEvent::IntraPair { cycle, .. }
+            | TraceEvent::Enqueue { cycle, .. }
+            | TraceEvent::Verify { cycle, .. }
+            | TraceEvent::Stall { cycle, .. }
+            | TraceEvent::Idle { cycle, .. }
+            | TraceEvent::SmDone { cycle, .. }
+            | TraceEvent::Error { cycle, .. } => Some(*cycle),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip_and_indices() {
+        for (i, k) in VerifyKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(VerifyKind::from_wire(k.as_str()), Some(k));
+        }
+        assert_eq!(VerifyKind::from_wire("nope"), None);
+    }
+
+    #[test]
+    fn unit_roundtrip() {
+        for u in UnitType::ALL {
+            assert_eq!(unit_from_str(unit_str(u)), Some(u));
+        }
+        assert_eq!(unit_from_str("alu"), None);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = TraceEvent::Idle { sm: 3, cycle: 9 };
+        assert_eq!(e.tag(), "idle");
+        assert_eq!(e.sm(), Some(3));
+        assert_eq!(e.cycle(), Some(9));
+        let l = TraceEvent::LaunchBegin { index: 0 };
+        assert_eq!(l.sm(), None);
+        assert_eq!(l.cycle(), None);
+    }
+}

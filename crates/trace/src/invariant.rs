@@ -1,0 +1,538 @@
+//! Online checking of Algorithm-1 properties over the event stream.
+//!
+//! The [`InvariantSink`] assumes the run had inter-warp DMR enabled and
+//! asserts, while events arrive:
+//!
+//! * **I1 — exactly-once**: every fully-utilized, result-producing
+//!   instruction (the ones that enter inter-warp DMR) is verified exactly
+//!   once, and every `Verify` names a known unverified instruction.
+//! * **I2 — causality**: a verification happens strictly after the issue
+//!   of the instruction it verifies.
+//! * **I3 — monotonicity**: per SM, `Verify` timestamps never decrease
+//!   (the Replay Checker is an in-order structure).
+//! * **I4 — bounded queue**: ReplayQ occupancy never exceeds capacity.
+//! * **I5 — RAW discipline**: when an instruction issues whose sources
+//!   include a register with an unverified same-warp write, each such
+//!   producer must be force-verified (`raw_stall`) before the SM's next
+//!   issue slot; verifying an obligated producer any other way, or
+//!   reaching the next slot with the obligation outstanding, is a
+//!   violation.
+//!
+//! Cycles restart at zero on each kernel launch, so a `LaunchBegin`
+//! closes out the previous launch (anything still unverified is a leak)
+//! and resets the per-SM clocks.
+
+use crate::event::{TraceEvent, VerifyKind};
+use crate::sink::TraceSink;
+use std::collections::HashMap;
+
+/// How many violations are stored verbatim; the rest are only counted.
+const MAX_STORED: usize = 64;
+
+/// One invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant broke ("I1".."I5").
+    pub rule: &'static str,
+    /// Human-readable description with event context.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.message)
+    }
+}
+
+#[derive(Debug, Default)]
+struct SmState {
+    /// Issued inter-warp-eligible instructions awaiting verification,
+    /// keyed (warp, issue cycle).
+    pending: HashMap<(u64, u64), ()>,
+    /// Instructions already verified once (double-verify detection).
+    verified: HashMap<(u64, u64), ()>,
+    /// Unverified register writes: (warp, reg) → issue cycles.
+    writes: HashMap<(u64, u16), Vec<u64>>,
+    /// RAW obligations open in the current issue slot:
+    /// (warp, reg, producer issue cycle).
+    obligations: Vec<(u64, u16, u64)>,
+    /// Last verify timestamp seen on this SM (I3).
+    last_verify: Option<u64>,
+}
+
+/// A [`TraceSink`] that checks Algorithm-1 invariants online.
+#[derive(Debug, Default)]
+pub struct InvariantSink {
+    sms: HashMap<u32, SmState>,
+    stored: Vec<Violation>,
+    total: u64,
+    events: u64,
+    finished: bool,
+}
+
+impl InvariantSink {
+    /// Create a checker with no state.
+    pub fn new() -> Self {
+        InvariantSink::default()
+    }
+
+    /// Whether no invariant was violated so far.
+    pub fn ok(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total violations (including ones beyond the storage cap).
+    pub fn total_violations(&self) -> u64 {
+        self.total
+    }
+
+    /// The first [`MAX_STORED`] violations, in detection order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.stored
+    }
+
+    /// Events consumed.
+    pub fn events_seen(&self) -> u64 {
+        self.events
+    }
+
+    fn violate(&mut self, rule: &'static str, message: String) {
+        self.total += 1;
+        if self.stored.len() < MAX_STORED {
+            self.stored.push(Violation { rule, message });
+        }
+    }
+
+    /// An issue slot boundary was reached on `sm`: any RAW obligation
+    /// still open means a consumer got past an unverified producer.
+    fn close_slot(&mut self, sm: u32, cycle: u64) {
+        let open = match self.sms.get_mut(&sm) {
+            Some(st) if !st.obligations.is_empty() => std::mem::take(&mut st.obligations),
+            _ => return,
+        };
+        for (warp, reg, issued) in open {
+            self.violate(
+                "I5",
+                format!(
+                    "sm {sm} cycle {cycle}: consumer proceeded while producer \
+                     (warp {warp}, r{reg}, issued @{issued}) was still unverified"
+                ),
+            );
+        }
+    }
+
+    /// End-of-stream / end-of-launch: everything must have verified.
+    fn close_launch(&mut self) {
+        let mut leaks: Vec<(u32, u64, u64)> = Vec::new();
+        for (sm, st) in &mut self.sms {
+            for (warp, cycle) in st.pending.keys() {
+                leaks.push((*sm, *warp, *cycle));
+            }
+            st.pending.clear();
+            st.verified.clear();
+            st.writes.clear();
+            st.obligations.clear();
+            st.last_verify = None;
+        }
+        leaks.sort_unstable();
+        for (sm, warp, cycle) in leaks {
+            self.violate(
+                "I1",
+                format!("sm {sm}: instruction (warp {warp}, issued @{cycle}) was never verified"),
+            );
+        }
+    }
+}
+
+impl TraceSink for InvariantSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        match ev {
+            TraceEvent::LaunchBegin { .. } => self.close_launch(),
+            TraceEvent::Issue {
+                sm,
+                cycle,
+                warp,
+                full,
+                has_result,
+                dst,
+                srcs,
+                ..
+            } => {
+                self.close_slot(*sm, *cycle);
+                let st = self.sms.entry(*sm).or_default();
+                // Open RAW obligations for every unverified same-warp
+                // write feeding this instruction (deduped sources: one
+                // register read twice is one hazard).
+                let mut seen: Vec<u16> = Vec::new();
+                for s in srcs.iter().flatten() {
+                    if seen.contains(&s.0) {
+                        continue;
+                    }
+                    seen.push(s.0);
+                    if let Some(cycles) = st.writes.get(&(*warp, s.0)) {
+                        for c in cycles {
+                            st.obligations.push((*warp, s.0, *c));
+                        }
+                    }
+                }
+                // Register the instruction itself (after the hazard scan:
+                // an instruction is never its own producer).
+                if *full && *has_result {
+                    st.pending.insert((*warp, *cycle), ());
+                    if let Some(r) = dst {
+                        st.writes.entry((*warp, r.0)).or_default().push(*cycle);
+                    }
+                }
+            }
+            TraceEvent::IntraPair { .. } | TraceEvent::Stall { .. } | TraceEvent::Error { .. } => {}
+            TraceEvent::Enqueue {
+                sm,
+                cycle,
+                depth,
+                capacity,
+                ..
+            } => {
+                if depth > capacity {
+                    self.violate(
+                        "I4",
+                        format!(
+                            "sm {sm} cycle {cycle}: ReplayQ occupancy {depth} \
+                             exceeds capacity {capacity}"
+                        ),
+                    );
+                }
+            }
+            TraceEvent::Verify {
+                sm,
+                cycle,
+                warp,
+                dst,
+                kind,
+                issued,
+                ..
+            } => {
+                let kind = *kind;
+                if cycle <= issued {
+                    self.violate(
+                        "I2",
+                        format!(
+                            "sm {sm}: verify of (warp {warp}, issued @{issued}) \
+                             at cycle {cycle} is not strictly after issue"
+                        ),
+                    );
+                }
+                let st = self.sms.entry(*sm).or_default();
+                let mono = st.last_verify.is_none_or(|last| *cycle >= last);
+                st.last_verify = Some(*cycle);
+                let key = (*warp, *issued);
+                let known = st.pending.remove(&key).is_some();
+                let double = !known && st.verified.contains_key(&key);
+                if known {
+                    st.verified.insert(key, ());
+                }
+                if let Some(r) = dst {
+                    if let Some(cycles) = st.writes.get_mut(&(*warp, r.0)) {
+                        cycles.retain(|c| c != issued);
+                        if cycles.is_empty() {
+                            st.writes.remove(&(*warp, r.0));
+                        }
+                    }
+                }
+                let mut obligated = false;
+                if let Some(r) = dst {
+                    let ob = (*warp, r.0, *issued);
+                    if let Some(pos) = st.obligations.iter().position(|o| *o == ob) {
+                        st.obligations.remove(pos);
+                        obligated = true;
+                    }
+                }
+                if !mono {
+                    self.violate(
+                        "I3",
+                        format!(
+                            "sm {sm}: verify timestamp went backwards to cycle {cycle} \
+                             (warp {warp}, issued @{issued})"
+                        ),
+                    );
+                }
+                if double {
+                    self.violate(
+                        "I1",
+                        format!(
+                            "sm {sm} cycle {cycle}: (warp {warp}, issued @{issued}) \
+                             verified twice"
+                        ),
+                    );
+                } else if !known {
+                    self.violate(
+                        "I1",
+                        format!(
+                            "sm {sm} cycle {cycle}: verify of unknown instruction \
+                             (warp {warp}, issued @{issued})"
+                        ),
+                    );
+                }
+                if obligated && kind != VerifyKind::RawStall {
+                    self.violate(
+                        "I5",
+                        format!(
+                            "sm {sm} cycle {cycle}: RAW-hazard producer \
+                             (warp {warp}, issued @{issued}) verified via {} \
+                             instead of a forced raw_stall",
+                            kind.as_str()
+                        ),
+                    );
+                }
+            }
+            TraceEvent::Idle { sm, cycle } => self.close_slot(*sm, *cycle),
+            TraceEvent::SmDone { sm, cycle, .. } => {
+                self.close_slot(*sm, *cycle);
+                let leftover: Vec<(u64, u64)> = self
+                    .sms
+                    .get(sm)
+                    .map(|st| {
+                        let mut v: Vec<_> = st.pending.keys().copied().collect();
+                        v.sort_unstable();
+                        v
+                    })
+                    .unwrap_or_default();
+                if let Some(st) = self.sms.get_mut(sm) {
+                    st.pending.clear();
+                }
+                for (warp, issued) in leftover {
+                    self.violate(
+                        "I1",
+                        format!(
+                            "sm {sm} done @{cycle}: instruction (warp {warp}, \
+                             issued @{issued}) was never verified"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.close_launch();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_isa::{Reg, UnitType};
+
+    fn issue(sm: u32, cycle: u64, warp: u64, dst: Option<u16>, srcs: &[u16]) -> TraceEvent {
+        let mut s = [None; 4];
+        for (i, r) in srcs.iter().enumerate() {
+            s[i] = Some(Reg(*r));
+        }
+        TraceEvent::Issue {
+            sm,
+            cycle,
+            warp,
+            pc: 0,
+            unit: UnitType::Sp,
+            active: 32,
+            full: true,
+            has_result: true,
+            dst: dst.map(Reg),
+            srcs: s,
+        }
+    }
+
+    fn verify(
+        sm: u32,
+        cycle: u64,
+        warp: u64,
+        dst: Option<u16>,
+        kind: VerifyKind,
+        issued: u64,
+    ) -> TraceEvent {
+        TraceEvent::Verify {
+            sm,
+            cycle,
+            warp,
+            unit: UnitType::Sp,
+            dst: dst.map(Reg),
+            kind,
+            issued,
+            active: 32,
+        }
+    }
+
+    fn run(events: &[TraceEvent]) -> InvariantSink {
+        let mut s = InvariantSink::new();
+        for ev in events {
+            s.event(ev);
+        }
+        s.flush();
+        s
+    }
+
+    #[test]
+    fn clean_stream_passes() {
+        let s = run(&[
+            issue(0, 0, 1, Some(5), &[]),
+            issue(0, 1, 2, Some(6), &[]),
+            verify(0, 1, 1, Some(5), VerifyKind::CoExecute, 0),
+            verify(0, 2, 2, Some(6), VerifyKind::IdleSlot, 1),
+            TraceEvent::SmDone {
+                sm: 0,
+                cycle: 2,
+                drained: 0,
+            },
+        ]);
+        assert!(s.ok(), "{:?}", s.violations());
+        assert_eq!(s.events_seen(), 5);
+    }
+
+    #[test]
+    fn unverified_instruction_is_a_leak() {
+        let s = run(&[issue(0, 0, 1, Some(5), &[])]);
+        assert_eq!(s.total_violations(), 1);
+        assert_eq!(s.violations()[0].rule, "I1");
+    }
+
+    #[test]
+    fn double_verify_is_flagged() {
+        let s = run(&[
+            issue(0, 0, 1, Some(5), &[]),
+            verify(0, 1, 1, Some(5), VerifyKind::IdleSlot, 0),
+            verify(0, 2, 1, Some(5), VerifyKind::Drain, 0),
+        ]);
+        assert!(s
+            .violations()
+            .iter()
+            .any(|v| v.rule == "I1" && v.message.contains("twice")));
+    }
+
+    #[test]
+    fn verify_at_issue_cycle_violates_causality() {
+        let s = run(&[
+            issue(0, 3, 1, Some(5), &[]),
+            verify(0, 3, 1, Some(5), VerifyKind::CoExecute, 3),
+        ]);
+        assert!(s.violations().iter().any(|v| v.rule == "I2"));
+    }
+
+    #[test]
+    fn backwards_verify_timestamps_are_flagged() {
+        let s = run(&[
+            issue(0, 0, 1, Some(5), &[]),
+            issue(0, 1, 2, Some(6), &[]),
+            verify(0, 5, 1, Some(5), VerifyKind::EagerStall, 0),
+            verify(0, 2, 2, Some(6), VerifyKind::IdleSlot, 1),
+        ]);
+        assert!(s.violations().iter().any(|v| v.rule == "I3"));
+    }
+
+    #[test]
+    fn queue_over_capacity_is_flagged() {
+        let s = run(&[TraceEvent::Enqueue {
+            sm: 0,
+            cycle: 0,
+            warp: 0,
+            unit: UnitType::Sp,
+            dst: None,
+            depth: 5,
+            capacity: 4,
+        }]);
+        assert!(s.violations().iter().any(|v| v.rule == "I4"));
+    }
+
+    #[test]
+    fn raw_consumer_issuing_past_unverified_producer_is_flagged() {
+        // Producer writes r5, consumer reads r5 next cycle, no raw_stall
+        // verify before the following slot: exactly the pre-fix RF-slot
+        // bug signature.
+        let s = run(&[
+            issue(0, 0, 7, Some(5), &[]),
+            issue(0, 1, 7, Some(6), &[5]),
+            TraceEvent::Idle { sm: 0, cycle: 2 },
+        ]);
+        assert!(
+            s.violations().iter().any(|v| v.rule == "I5"),
+            "{:?}",
+            s.violations()
+        );
+    }
+
+    #[test]
+    fn raw_producer_verified_by_coexecute_instead_of_stall_is_flagged() {
+        // Pre-fix case-1 path: the obligated producer gets a CoExecute
+        // verify instead of a forced raw_stall.
+        let s = run(&[
+            issue(0, 0, 7, Some(5), &[]),
+            issue(0, 1, 7, Some(6), &[5]),
+            verify(0, 1, 7, Some(5), VerifyKind::CoExecute, 0),
+        ]);
+        assert!(
+            s.violations()
+                .iter()
+                .any(|v| v.rule == "I5" && v.message.contains("coexec")),
+            "{:?}",
+            s.violations()
+        );
+    }
+
+    #[test]
+    fn raw_stall_discharges_the_obligation() {
+        let s = run(&[
+            issue(0, 0, 7, Some(5), &[]),
+            issue(0, 1, 7, Some(6), &[5]),
+            verify(0, 2, 7, Some(5), VerifyKind::RawStall, 0),
+            verify(0, 2, 7, Some(6), VerifyKind::CoExecute, 1),
+            TraceEvent::SmDone {
+                sm: 0,
+                cycle: 3,
+                drained: 0,
+            },
+        ]);
+        assert!(s.ok(), "{:?}", s.violations());
+    }
+
+    #[test]
+    fn duplicate_src_registers_create_one_obligation() {
+        let s = run(&[
+            issue(0, 0, 7, Some(5), &[]),
+            issue(0, 1, 7, Some(6), &[5, 5]),
+            verify(0, 2, 7, Some(5), VerifyKind::RawStall, 0),
+            verify(0, 2, 7, Some(6), VerifyKind::CoExecute, 1),
+            TraceEvent::SmDone {
+                sm: 0,
+                cycle: 3,
+                drained: 0,
+            },
+        ]);
+        assert!(s.ok(), "{:?}", s.violations());
+    }
+
+    #[test]
+    fn launch_boundary_resets_cycle_clocks() {
+        let s = run(&[
+            TraceEvent::LaunchBegin { index: 0 },
+            issue(0, 0, 1, Some(5), &[]),
+            verify(0, 9, 1, Some(5), VerifyKind::IdleSlot, 0),
+            TraceEvent::LaunchBegin { index: 1 },
+            // Cycles restart: a verify at cycle 1 is fine after the reset.
+            issue(0, 0, 2, Some(5), &[]),
+            verify(0, 1, 2, Some(5), VerifyKind::IdleSlot, 0),
+        ]);
+        assert!(s.ok(), "{:?}", s.violations());
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let mut s = InvariantSink::new();
+        s.event(&issue(0, 0, 1, Some(5), &[]));
+        s.flush();
+        s.flush();
+        assert_eq!(s.total_violations(), 1);
+    }
+}

@@ -1,0 +1,594 @@
+//! JSON-Lines trace format: one flat JSON object per event.
+//!
+//! The format is deliberately flat (no nested arrays or objects) so a
+//! tiny hand-rolled parser can read it back without a serde dependency.
+//! Register fields serialize as the raw register number or `null`; the
+//! four issue source slots become `s0`..`s3`.
+
+use crate::event::{unit_from_str, unit_str, TraceEvent, VerifyKind};
+use crate::sink::TraceSink;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::Write;
+use warped_isa::{Reg, UnitType};
+
+/// Serialize one event to its JSONL line (no trailing newline).
+pub fn to_line(ev: &TraceEvent) -> String {
+    let mut w = LineWriter::new(ev.tag());
+    match ev {
+        TraceEvent::LaunchBegin { index } => {
+            w.num("index", u64::from(*index));
+        }
+        TraceEvent::Issue {
+            sm,
+            cycle,
+            warp,
+            pc,
+            unit,
+            active,
+            full,
+            has_result,
+            dst,
+            srcs,
+        } => {
+            w.num("sm", u64::from(*sm));
+            w.num("cycle", *cycle);
+            w.num("warp", *warp);
+            w.num("pc", u64::from(*pc));
+            w.str("unit", unit_str(*unit));
+            w.num("active", u64::from(*active));
+            w.bool("full", *full);
+            w.bool("has_result", *has_result);
+            w.reg("dst", *dst);
+            w.reg("s0", srcs[0]);
+            w.reg("s1", srcs[1]);
+            w.reg("s2", srcs[2]);
+            w.reg("s3", srcs[3]);
+        }
+        TraceEvent::IntraPair {
+            sm,
+            cycle,
+            warp,
+            active,
+            covered,
+        } => {
+            w.num("sm", u64::from(*sm));
+            w.num("cycle", *cycle);
+            w.num("warp", *warp);
+            w.num("active", u64::from(*active));
+            w.num("covered", u64::from(*covered));
+        }
+        TraceEvent::Enqueue {
+            sm,
+            cycle,
+            warp,
+            unit,
+            dst,
+            depth,
+            capacity,
+        } => {
+            w.num("sm", u64::from(*sm));
+            w.num("cycle", *cycle);
+            w.num("warp", *warp);
+            w.str("unit", unit_str(*unit));
+            w.reg("dst", *dst);
+            w.num("depth", u64::from(*depth));
+            w.num("capacity", u64::from(*capacity));
+        }
+        TraceEvent::Verify {
+            sm,
+            cycle,
+            warp,
+            unit,
+            dst,
+            kind,
+            issued,
+            active,
+        } => {
+            w.num("sm", u64::from(*sm));
+            w.num("cycle", *cycle);
+            w.num("warp", *warp);
+            w.str("unit", unit_str(*unit));
+            w.reg("dst", *dst);
+            w.str("kind", kind.as_str());
+            w.num("issued", *issued);
+            w.num("active", u64::from(*active));
+        }
+        TraceEvent::Stall {
+            sm,
+            cycle,
+            warp,
+            cycles,
+        } => {
+            w.num("sm", u64::from(*sm));
+            w.num("cycle", *cycle);
+            w.num("warp", *warp);
+            w.num("cycles", *cycles);
+        }
+        TraceEvent::Idle { sm, cycle } => {
+            w.num("sm", u64::from(*sm));
+            w.num("cycle", *cycle);
+        }
+        TraceEvent::SmDone { sm, cycle, drained } => {
+            w.num("sm", u64::from(*sm));
+            w.num("cycle", *cycle);
+            w.num("drained", *drained);
+        }
+        TraceEvent::Error {
+            sm,
+            cycle,
+            warp,
+            lane,
+        } => {
+            w.num("sm", u64::from(*sm));
+            w.num("cycle", *cycle);
+            w.num("warp", *warp);
+            w.num("lane", u64::from(*lane));
+        }
+    }
+    w.finish()
+}
+
+struct LineWriter {
+    buf: String,
+}
+
+impl LineWriter {
+    fn new(tag: &str) -> Self {
+        LineWriter {
+            buf: format!("{{\"ev\":\"{tag}\""),
+        }
+    }
+    fn num(&mut self, key: &str, v: u64) {
+        self.buf.push_str(&format!(",\"{key}\":{v}"));
+    }
+    fn str(&mut self, key: &str, v: &str) {
+        self.buf.push_str(&format!(",\"{key}\":\"{v}\""));
+    }
+    fn bool(&mut self, key: &str, v: bool) {
+        self.buf.push_str(&format!(",\"{key}\":{v}"));
+    }
+    fn reg(&mut self, key: &str, v: Option<Reg>) {
+        match v {
+            Some(r) => self.num(key, u64::from(r.0)),
+            None => self.buf.push_str(&format!(",\"{key}\":null")),
+        }
+    }
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Why a JSONL line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line is not a flat JSON object of the expected shape.
+    Malformed(String),
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field holds a value of the wrong type or out of range.
+    BadValue(&'static str),
+    /// The `ev` tag names no known event.
+    UnknownTag(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed(s) => write!(f, "malformed JSONL line: {s}"),
+            ParseError::MissingField(k) => write!(f, "missing field `{k}`"),
+            ParseError::BadValue(k) => write!(f, "bad value for field `{k}`"),
+            ParseError::UnknownTag(t) => write!(f, "unknown event tag `{t}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed scalar from a flat JSON object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Scalar {
+    Num(u64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+/// Parse a flat `{"key":scalar,...}` object. Scalars: unsigned integers,
+/// strings without escapes, `true`/`false`, `null`.
+fn parse_flat(line: &str) -> Result<Vec<(String, Scalar)>, ParseError> {
+    let s = line.trim();
+    let body = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| ParseError::Malformed(line.into()))?;
+    let mut fields = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        // key
+        rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| ParseError::Malformed(line.into()))?;
+        let kq = rest
+            .find('"')
+            .ok_or_else(|| ParseError::Malformed(line.into()))?;
+        let key = rest[..kq].to_string();
+        rest = rest[kq + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| ParseError::Malformed(line.into()))?
+            .trim_start();
+        // value
+        let (value, after) = if let Some(r) = rest.strip_prefix('"') {
+            let vq = r
+                .find('"')
+                .ok_or_else(|| ParseError::Malformed(line.into()))?;
+            (Scalar::Str(r[..vq].to_string()), &r[vq + 1..])
+        } else {
+            let end = rest.find(',').unwrap_or(rest.len());
+            let tok = rest[..end].trim();
+            let v = match tok {
+                "true" => Scalar::Bool(true),
+                "false" => Scalar::Bool(false),
+                "null" => Scalar::Null,
+                _ => Scalar::Num(
+                    tok.parse::<u64>()
+                        .map_err(|_| ParseError::Malformed(line.into()))?,
+                ),
+            };
+            (v, &rest[end..])
+        };
+        fields.push((key, value));
+        rest = after.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(ParseError::Malformed(line.into()));
+        }
+    }
+    Ok(fields)
+}
+
+struct FieldMap(Vec<(String, Scalar)>);
+
+impl FieldMap {
+    fn get(&self, key: &'static str) -> Result<&Scalar, ParseError> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or(ParseError::MissingField(key))
+    }
+    fn num(&self, key: &'static str) -> Result<u64, ParseError> {
+        match self.get(key)? {
+            Scalar::Num(n) => Ok(*n),
+            _ => Err(ParseError::BadValue(key)),
+        }
+    }
+    fn num32(&self, key: &'static str) -> Result<u32, ParseError> {
+        u32::try_from(self.num(key)?).map_err(|_| ParseError::BadValue(key))
+    }
+    fn str(&self, key: &'static str) -> Result<&str, ParseError> {
+        match self.get(key)? {
+            Scalar::Str(s) => Ok(s),
+            _ => Err(ParseError::BadValue(key)),
+        }
+    }
+    fn bool(&self, key: &'static str) -> Result<bool, ParseError> {
+        match self.get(key)? {
+            Scalar::Bool(b) => Ok(*b),
+            _ => Err(ParseError::BadValue(key)),
+        }
+    }
+    fn reg(&self, key: &'static str) -> Result<Option<Reg>, ParseError> {
+        match self.get(key)? {
+            Scalar::Null => Ok(None),
+            Scalar::Num(n) => u16::try_from(*n)
+                .map(|r| Some(Reg(r)))
+                .map_err(|_| ParseError::BadValue(key)),
+            _ => Err(ParseError::BadValue(key)),
+        }
+    }
+    fn unit(&self, key: &'static str) -> Result<UnitType, ParseError> {
+        unit_from_str(self.str(key)?).ok_or(ParseError::BadValue(key))
+    }
+}
+
+/// Parse one JSONL line back into a [`TraceEvent`].
+pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
+    let f = FieldMap(parse_flat(line)?);
+    let tag = f.str("ev")?.to_string();
+    let ev = match tag.as_str() {
+        "launch" => TraceEvent::LaunchBegin {
+            index: f.num32("index")?,
+        },
+        "issue" => TraceEvent::Issue {
+            sm: f.num32("sm")?,
+            cycle: f.num("cycle")?,
+            warp: f.num("warp")?,
+            pc: f.num32("pc")?,
+            unit: f.unit("unit")?,
+            active: f.num32("active")?,
+            full: f.bool("full")?,
+            has_result: f.bool("has_result")?,
+            dst: f.reg("dst")?,
+            srcs: [f.reg("s0")?, f.reg("s1")?, f.reg("s2")?, f.reg("s3")?],
+        },
+        "intra" => TraceEvent::IntraPair {
+            sm: f.num32("sm")?,
+            cycle: f.num("cycle")?,
+            warp: f.num("warp")?,
+            active: f.num32("active")?,
+            covered: f.num32("covered")?,
+        },
+        "enq" => TraceEvent::Enqueue {
+            sm: f.num32("sm")?,
+            cycle: f.num("cycle")?,
+            warp: f.num("warp")?,
+            unit: f.unit("unit")?,
+            dst: f.reg("dst")?,
+            depth: f.num32("depth")?,
+            capacity: f.num32("capacity")?,
+        },
+        "verify" => TraceEvent::Verify {
+            sm: f.num32("sm")?,
+            cycle: f.num("cycle")?,
+            warp: f.num("warp")?,
+            unit: f.unit("unit")?,
+            dst: f.reg("dst")?,
+            kind: VerifyKind::from_wire(f.str("kind")?).ok_or(ParseError::BadValue("kind"))?,
+            issued: f.num("issued")?,
+            active: f.num32("active")?,
+        },
+        "stall" => TraceEvent::Stall {
+            sm: f.num32("sm")?,
+            cycle: f.num("cycle")?,
+            warp: f.num("warp")?,
+            cycles: f.num("cycles")?,
+        },
+        "idle" => TraceEvent::Idle {
+            sm: f.num32("sm")?,
+            cycle: f.num("cycle")?,
+        },
+        "done" => TraceEvent::SmDone {
+            sm: f.num32("sm")?,
+            cycle: f.num("cycle")?,
+            drained: f.num("drained")?,
+        },
+        "error" => TraceEvent::Error {
+            sm: f.num32("sm")?,
+            cycle: f.num("cycle")?,
+            warp: f.num("warp")?,
+            lane: f.num32("lane")?,
+        },
+        _ => return Err(ParseError::UnknownTag(tag)),
+    };
+    Ok(ev)
+}
+
+enum Mode {
+    /// Write every line straight to the writer.
+    Stream(Box<dyn Write + Send>),
+    /// Keep only the most recent `cap` lines in memory.
+    Ring { cap: usize, lines: VecDeque<String> },
+}
+
+/// A [`TraceSink`] producing the JSONL format.
+///
+/// Two modes: streaming (every event written to an `io::Write` as it
+/// happens) and ring-buffered (only the last *N* events retained, for
+/// low-overhead post-mortems of long runs).
+pub struct JsonlSink {
+    mode: Mode,
+    written: u64,
+}
+
+impl JsonlSink {
+    /// Stream every line to `out`.
+    pub fn stream(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            mode: Mode::Stream(out),
+            written: 0,
+        }
+    }
+
+    /// Retain only the most recent `cap` lines in memory.
+    pub fn ring(cap: usize) -> Self {
+        JsonlSink {
+            mode: Mode::Ring {
+                cap: cap.max(1),
+                lines: VecDeque::new(),
+            },
+            written: 0,
+        }
+    }
+
+    /// Total events seen (including ones evicted from a ring).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// The retained lines (ring mode; empty in stream mode).
+    pub fn lines(&self) -> Vec<String> {
+        match &self.mode {
+            Mode::Stream(_) => Vec::new(),
+            Mode::Ring { lines, .. } => lines.iter().cloned().collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.mode {
+            Mode::Stream(_) => write!(f, "JsonlSink::stream(written={})", self.written),
+            Mode::Ring { cap, lines } => {
+                write!(f, "JsonlSink::ring(cap={cap}, held={})", lines.len())
+            }
+        }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.written += 1;
+        let line = to_line(ev);
+        match &mut self.mode {
+            Mode::Stream(out) => {
+                let _ = writeln!(out, "{line}");
+            }
+            Mode::Ring { cap, lines } => {
+                if lines.len() == *cap {
+                    lines.pop_front();
+                }
+                lines.push_back(line);
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Mode::Stream(out) = &mut self.mode {
+            let _ = out.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::LaunchBegin { index: 2 },
+            TraceEvent::Issue {
+                sm: 1,
+                cycle: 10,
+                warp: 42,
+                pc: 7,
+                unit: UnitType::Sfu,
+                active: 32,
+                full: true,
+                has_result: true,
+                dst: Some(Reg(3)),
+                srcs: [Some(Reg(1)), None, Some(Reg(2)), None],
+            },
+            TraceEvent::IntraPair {
+                sm: 0,
+                cycle: 4,
+                warp: 9,
+                active: 12,
+                covered: 12,
+            },
+            TraceEvent::Enqueue {
+                sm: 2,
+                cycle: 5,
+                warp: 8,
+                unit: UnitType::LdSt,
+                dst: None,
+                depth: 3,
+                capacity: 4,
+            },
+            TraceEvent::Verify {
+                sm: 2,
+                cycle: 6,
+                warp: 8,
+                unit: UnitType::Sp,
+                dst: Some(Reg(0)),
+                kind: VerifyKind::RawStall,
+                issued: 5,
+                active: 32,
+            },
+            TraceEvent::Stall {
+                sm: 2,
+                cycle: 6,
+                warp: 8,
+                cycles: 2,
+            },
+            TraceEvent::Idle { sm: 3, cycle: 11 },
+            TraceEvent::SmDone {
+                sm: 3,
+                cycle: 20,
+                drained: 4,
+            },
+            TraceEvent::Error {
+                sm: 0,
+                cycle: 9,
+                warp: 1,
+                lane: 17,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_roundtrips() {
+        for ev in sample_events() {
+            let line = to_line(&ev);
+            let back = parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            parse_line("not json"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_line("{\"ev\":\"idle\",\"sm\":0}"),
+            Err(ParseError::MissingField("cycle"))
+        ));
+        assert!(matches!(
+            parse_line("{\"ev\":\"wat\"}"),
+            Err(ParseError::UnknownTag(_))
+        ));
+        assert!(matches!(
+            parse_line("{\"ev\":\"idle\",\"sm\":\"zero\",\"cycle\":1}"),
+            Err(ParseError::BadValue("sm"))
+        ));
+    }
+
+    #[test]
+    fn ring_keeps_only_last_n() {
+        let mut sink = JsonlSink::ring(2);
+        for c in 0..5 {
+            sink.event(&TraceEvent::Idle { sm: 0, cycle: c });
+        }
+        assert_eq!(sink.written(), 5);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            parse_line(&lines[0]),
+            Ok(TraceEvent::Idle { sm: 0, cycle: 3 })
+        );
+        assert_eq!(
+            parse_line(&lines[1]),
+            Ok(TraceEvent::Idle { sm: 0, cycle: 4 })
+        );
+    }
+
+    #[test]
+    fn stream_writes_lines() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(buf));
+        struct W(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for W {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::stream(Box::new(W(shared.clone())));
+        sink.event(&TraceEvent::Idle { sm: 0, cycle: 1 });
+        sink.event(&TraceEvent::Idle { sm: 0, cycle: 2 });
+        sink.flush();
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            parse_line(line).unwrap();
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # warped-trace
+//!
+//! Cycle-level event tracing and online invariant checking for the whole
+//! simulation pipeline, in the spirit of GPGPU-Sim's cycle-accurate
+//! validation discipline (Bakhoda et al., ISPASS 2009) and DIVA's
+//! checker-verifies-core philosophy (Austin, MICRO 1999).
+//!
+//! The simulator ([`warped-sim`]), the Replay Checker, and the Warped-DMR
+//! engine ([`warped-core`]) emit typed [`TraceEvent`]s through a
+//! [`TraceHandle`]. A disabled handle (the default) is a single `Option`
+//! check per site and the event constructors are never run, so tracing
+//! costs nothing unless it is switched on.
+//!
+//! Built-in [`TraceSink`]s:
+//!
+//! * [`JsonlSink`] — one JSON object per line, streaming to any writer or
+//!   ring-buffered in memory (last *N* events for post-mortems).
+//! * [`ChromeSink`] — a Chrome `about:tracing` / Perfetto export.
+//! * [`MetricsSink`] — a counter/histogram registry built on
+//!   [`warped_stats`]; replaying a recorded trace through it reproduces
+//!   the live `DmrReport` bit-for-bit (see `warped invariants`).
+//! * [`InvariantSink`] — asserts Algorithm-1 properties online: every
+//!   inter-warp-eligible instruction is verified exactly once, verify
+//!   timestamps are strictly after issue and monotone per SM, ReplayQ
+//!   occupancy never exceeds capacity, and a RAW consumer never proceeds
+//!   past an unverified same-warp producer without a forced
+//!   stall-verification.
+//! * [`CollectSink`] / [`Fanout`] — in-memory capture and sink
+//!   composition.
+//!
+//! ```
+//! use warped_trace::{CollectSink, TraceEvent, TraceHandle};
+//!
+//! let (store, handle) = TraceHandle::shared(CollectSink::new());
+//! handle.emit(|| TraceEvent::Idle { sm: 0, cycle: 7 });
+//! assert_eq!(store.lock().unwrap().events().len(), 1);
+//!
+//! let off = TraceHandle::disabled();
+//! off.emit(|| unreachable!("disabled handles never build events"));
+//! ```
+
+pub mod chrome;
+pub mod event;
+pub mod handle;
+pub mod invariant;
+pub mod jsonl;
+pub mod metrics;
+pub mod replay;
+pub mod sink;
+
+pub use chrome::ChromeSink;
+pub use event::{TraceEvent, VerifyKind};
+pub use handle::TraceHandle;
+pub use invariant::InvariantSink;
+pub use jsonl::{JsonlSink, ParseError};
+pub use metrics::{bucket_of, MetricsSink};
+pub use sink::{CollectSink, Fanout, NullSink, TraceSink};

@@ -1,0 +1,271 @@
+//! Metrics registry sink: rebuilds the Warped-DMR coverage/overhead
+//! counters purely from the event stream.
+//!
+//! `warped-core` reconstructs a `DmrReport` from a [`MetricsSink`]
+//! (`DmrReport::from_metrics`); `warped invariants` asserts the
+//! reconstruction matches the live report bit-for-bit, which pins down
+//! the event vocabulary: if an emission site goes missing or double-fires,
+//! trace-then-replay diverges.
+
+use crate::event::{TraceEvent, VerifyKind};
+use crate::sink::TraceSink;
+use warped_stats::{LogHistogram, Summary};
+
+/// Fig. 1 bucket index for an active-lane count (edges 1, 2-11, 12-21,
+/// 22-31, 32). Shared by the live engine and the replay path so the two
+/// can never drift.
+pub fn bucket_of(active: u32) -> usize {
+    match active {
+        0..=1 => 0,
+        2..=11 => 1,
+        12..=21 => 2,
+        22..=31 => 3,
+        _ => 4,
+    }
+}
+
+/// A [`TraceSink`] accumulating the full DMR coverage/overhead breakdown
+/// plus trace-only extras (verify-latency and queue-depth distributions).
+#[derive(Debug, Clone)]
+pub struct MetricsSink {
+    /// Thread-instructions that produced verifiable results.
+    pub total_thread_instrs: u64,
+    /// Thread-instructions verified by intra-warp DMR.
+    pub intra_covered: u64,
+    /// Thread-instructions verified by inter-warp DMR.
+    pub inter_covered: u64,
+    /// Warp-instructions issued with a partial active mask.
+    pub partial_instrs: u64,
+    /// Warp-instructions issued fully utilized.
+    pub full_instrs: u64,
+    /// Partial-mask warp-instructions where intra-warp DMR verified only
+    /// a strict subset of the active lanes.
+    pub partially_checked_instrs: u64,
+    /// Partial-mask warp-instructions where no active lane could be
+    /// verified.
+    pub unchecked_partial_instrs: u64,
+    /// Thread-instructions per active-count bucket (Fig. 1 edges).
+    pub bucket_total: [u64; 5],
+    /// Covered thread-instructions per active-count bucket.
+    pub bucket_covered: [u64; 5],
+    /// Verifications by kind, indexed by [`VerifyKind::index`].
+    pub verified: [u64; 6],
+    /// Instructions that passed through the ReplayQ.
+    pub enqueued: u64,
+    /// Stall cycles charged (eager + RAW).
+    pub stall_cycles: u64,
+    /// Cycles spent draining at kernel end.
+    pub drain_cycles: u64,
+    /// High-water mark of ReplayQ occupancy (any SM).
+    pub max_queue: u32,
+    /// Comparator mismatches.
+    pub errors_detected: u64,
+    /// Issue-to-verify latency distribution, power-of-two buckets.
+    pub verify_latency: LogHistogram,
+    /// ReplayQ occupancy at each enqueue.
+    pub queue_depth: Summary,
+    /// Total events consumed.
+    pub events_seen: u64,
+}
+
+impl Default for MetricsSink {
+    fn default() -> Self {
+        MetricsSink {
+            total_thread_instrs: 0,
+            intra_covered: 0,
+            inter_covered: 0,
+            partial_instrs: 0,
+            full_instrs: 0,
+            partially_checked_instrs: 0,
+            unchecked_partial_instrs: 0,
+            bucket_total: [0; 5],
+            bucket_covered: [0; 5],
+            verified: [0; 6],
+            enqueued: 0,
+            stall_cycles: 0,
+            drain_cycles: 0,
+            max_queue: 0,
+            errors_detected: 0,
+            verify_latency: LogHistogram::new(),
+            queue_depth: Summary::new(),
+            events_seen: 0,
+        }
+    }
+}
+
+impl MetricsSink {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        MetricsSink::default()
+    }
+
+    /// Total verified warp-instructions (all kinds).
+    pub fn total_verified(&self) -> u64 {
+        self.verified.iter().sum()
+    }
+
+    /// Verification count for one kind.
+    pub fn verified_of(&self, kind: VerifyKind) -> u64 {
+        self.verified[kind.index()]
+    }
+}
+
+impl TraceSink for MetricsSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.events_seen += 1;
+        match ev {
+            TraceEvent::LaunchBegin { .. } => {}
+            TraceEvent::Issue {
+                active,
+                full,
+                has_result,
+                ..
+            } => {
+                if *has_result {
+                    let n = u64::from(*active);
+                    self.total_thread_instrs += n;
+                    self.bucket_total[bucket_of(*active)] += n;
+                    if *full {
+                        self.full_instrs += 1;
+                    } else {
+                        self.partial_instrs += 1;
+                    }
+                }
+            }
+            TraceEvent::IntraPair {
+                active, covered, ..
+            } => {
+                self.intra_covered += u64::from(*covered);
+                self.bucket_covered[bucket_of(*active)] += u64::from(*covered);
+                if *covered == 0 {
+                    self.unchecked_partial_instrs += 1;
+                } else if covered < active {
+                    self.partially_checked_instrs += 1;
+                }
+            }
+            TraceEvent::Enqueue { depth, .. } => {
+                self.enqueued += 1;
+                self.max_queue = self.max_queue.max(*depth);
+                self.queue_depth.add(f64::from(*depth));
+            }
+            TraceEvent::Verify {
+                cycle,
+                kind,
+                issued,
+                active,
+                ..
+            } => {
+                let n = u64::from(*active);
+                self.inter_covered += n;
+                self.bucket_covered[bucket_of(*active)] += n;
+                self.verified[kind.index()] += 1;
+                self.verify_latency.record(cycle.saturating_sub(*issued));
+            }
+            TraceEvent::Stall { cycles, .. } => {
+                self.stall_cycles += cycles;
+            }
+            TraceEvent::Idle { .. } => {}
+            TraceEvent::SmDone { drained, .. } => {
+                self.drain_cycles += drained;
+            }
+            TraceEvent::Error { .. } => {
+                self.errors_detected += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_isa::UnitType;
+
+    #[test]
+    fn bucket_edges_match_fig1() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(11), 1);
+        assert_eq!(bucket_of(12), 2);
+        assert_eq!(bucket_of(21), 2);
+        assert_eq!(bucket_of(22), 3);
+        assert_eq!(bucket_of(31), 3);
+        assert_eq!(bucket_of(32), 4);
+    }
+
+    #[test]
+    fn counters_accumulate_per_event() {
+        let mut m = MetricsSink::new();
+        m.event(&TraceEvent::Issue {
+            sm: 0,
+            cycle: 0,
+            warp: 0,
+            pc: 0,
+            unit: UnitType::Sp,
+            active: 32,
+            full: true,
+            has_result: true,
+            dst: None,
+            srcs: [None; 4],
+        });
+        m.event(&TraceEvent::IntraPair {
+            sm: 0,
+            cycle: 1,
+            warp: 1,
+            active: 10,
+            covered: 7,
+        });
+        m.event(&TraceEvent::Enqueue {
+            sm: 0,
+            cycle: 2,
+            warp: 0,
+            unit: UnitType::Sp,
+            dst: None,
+            depth: 3,
+            capacity: 4,
+        });
+        m.event(&TraceEvent::Verify {
+            sm: 0,
+            cycle: 9,
+            warp: 0,
+            unit: UnitType::Sp,
+            dst: None,
+            kind: VerifyKind::Drain,
+            issued: 0,
+            active: 32,
+        });
+        m.event(&TraceEvent::Stall {
+            sm: 0,
+            cycle: 9,
+            warp: 0,
+            cycles: 2,
+        });
+        m.event(&TraceEvent::SmDone {
+            sm: 0,
+            cycle: 20,
+            drained: 4,
+        });
+        m.event(&TraceEvent::Error {
+            sm: 0,
+            cycle: 9,
+            warp: 0,
+            lane: 3,
+        });
+        assert_eq!(m.total_thread_instrs, 32);
+        assert_eq!(m.full_instrs, 1);
+        assert_eq!(m.bucket_total[4], 32);
+        assert_eq!(m.intra_covered, 7);
+        assert_eq!(m.partially_checked_instrs, 1);
+        assert_eq!(m.bucket_covered[1], 7);
+        assert_eq!(m.enqueued, 1);
+        assert_eq!(m.max_queue, 3);
+        assert_eq!(m.inter_covered, 32);
+        assert_eq!(m.verified_of(VerifyKind::Drain), 1);
+        assert_eq!(m.total_verified(), 1);
+        assert_eq!(m.stall_cycles, 2);
+        assert_eq!(m.drain_cycles, 4);
+        assert_eq!(m.errors_detected, 1);
+        assert_eq!(m.verify_latency.total(), 1);
+        assert_eq!(m.events_seen, 7);
+    }
+}

@@ -16,6 +16,16 @@ build:
 analyze bench:
     cargo run -q -p warped-cli -- analyze {{bench}}
 
+# Record a full cycle-level event trace of one benchmark (JSONL), check
+# the Algorithm-1 invariants over it, e.g. `just trace SCAN`.
+trace bench out="trace.jsonl":
+    cargo run -q -p warped-cli -- trace {{bench}} --format jsonl --out {{out}} --invariants
+
+# Trace invariant suite over every benchmark at Tiny scale:
+# I1-I5 plus the trace-then-replay report check. Fails on any violation.
+invariants:
+    cargo run -q -p warped-cli -- invariants --check
+
 # Throughput harness: writes BENCH_simulator.json at the repo root.
 bench:
     ./scripts/bench.sh

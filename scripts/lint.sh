@@ -9,4 +9,8 @@ cd "$(dirname "$0")/.."
 # dropped from the workspace members list unnoticed.
 cargo clippy --workspace -p warped-runner --all-targets -- -D warnings
 cargo fmt --check
+
+# Trace invariant suite: Algorithm-1 invariants I1-I5 plus the
+# trace-then-replay report check, over every benchmark at Tiny scale.
+cargo run -q -p warped-cli -- invariants --check
 echo "lint: clean"

@@ -17,6 +17,7 @@ pub mod fig5;
 pub mod fig8;
 pub mod fig9a;
 pub mod fig9b;
+pub mod invariants;
 pub mod throughput;
 
 use std::error::Error;
@@ -33,6 +34,9 @@ pub enum ExperimentError {
     Sim(SimError),
     /// A workload produced wrong results.
     Check(CheckError),
+    /// A trace invariant was violated or a trace replay diverged
+    /// (see [`invariants`]).
+    Invariant(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -41,6 +45,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Kernel(e) => write!(f, "kernel assembly: {e}"),
             ExperimentError::Sim(e) => write!(f, "simulation: {e}"),
             ExperimentError::Check(e) => write!(f, "result validation: {e}"),
+            ExperimentError::Invariant(msg) => write!(f, "trace invariant: {msg}"),
         }
     }
 }

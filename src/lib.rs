@@ -16,6 +16,8 @@
 //!   ([`warped_baselines`])
 //! * [`power`] — the analytical power/energy model ([`warped_power`])
 //! * [`stats`] — histograms and distance trackers ([`warped_stats`])
+//! * [`trace`] — cycle-level event tracing, invariant checking, and
+//!   trace replay ([`warped_trace`])
 //! * [`runner`] — the deterministic parallel job engine driving the
 //!   experiment fan-out ([`warped_runner`])
 //!
@@ -50,3 +52,4 @@ pub use warped_power as power;
 pub use warped_runner as runner;
 pub use warped_sim as sim;
 pub use warped_stats as stats;
+pub use warped_trace as trace;

@@ -11,31 +11,40 @@ use warped::dmr::{DmrConfig, WarpedDmr};
 use warped::kernels::{Benchmark, WorkloadSize};
 use warped::sim::{GpuConfig, NullObserver};
 
-fn measure(bench: Benchmark) -> (u64, u64, f64) {
+fn measure(bench: Benchmark) -> (u64, u64, f64, u64, u64) {
     let gpu = GpuConfig::small();
     let w = bench.build(WorkloadSize::Tiny).unwrap();
     let base = w.run_with(&gpu, &mut NullObserver).unwrap();
     let mut engine = WarpedDmr::new(DmrConfig::default(), &gpu);
     let dmr = w.run_with(&gpu, &mut engine).unwrap();
+    let r = engine.report();
     (
         base.stats.cycles,
         dmr.stats.cycles,
-        engine.report().coverage_pct(),
+        r.coverage_pct(),
+        r.checker.total_verified(),
+        r.checker.stall_cycles,
     )
 }
 
 #[test]
 fn golden_cycles_and_coverage() {
-    // (benchmark, baseline cycles, DMR cycles, coverage %)
-    let expected: &[(Benchmark, u64, u64, f64)] = &[
+    // (benchmark, baseline cycles, DMR cycles, coverage %,
+    //  inter-warp verifies, checker stall cycles)
+    //
+    // Re-verified after the Algorithm-1 RF-slot RAW fix: unchanged at
+    // Tiny — the scoreboard delays RAW consumers long enough that the
+    // unverified producer has normally left the RF slot by issue time
+    // (the checker's regression tests exercise the fix directly).
+    let expected: &[(Benchmark, u64, u64, f64, u64, u64)] = &[
         // SCAN/SHA at Tiny leave enough idle slots that inter-warp DMR
         // verifies entirely for free; MatrixMul pays its ReplayQ stalls.
-        (Benchmark::Scan, 2031, 2031, 100.0),
-        (Benchmark::MatrixMul, 3099, 3977, 100.0),
-        (Benchmark::Sha, 15728, 15728, 100.0),
+        (Benchmark::Scan, 2031, 2031, 100.0, 374, 0),
+        (Benchmark::MatrixMul, 3099, 3977, 100.0, 4608, 1870),
+        (Benchmark::Sha, 15728, 15728, 100.0, 1836, 0),
     ];
-    for (bench, base, dmr, cov) in expected {
-        let (got_base, got_dmr, got_cov) = measure(*bench);
+    for (bench, base, dmr, cov, verified, stalls) in expected {
+        let (got_base, got_dmr, got_cov, got_verified, got_stalls) = measure(*bench);
         assert_eq!(
             got_base, *base,
             "{bench}: baseline cycles moved (got {got_base}); \
@@ -49,6 +58,16 @@ fn golden_cycles_and_coverage() {
         assert!(
             (got_cov - cov).abs() < 1e-9,
             "{bench}: coverage moved (got {got_cov}); pairing changed"
+        );
+        assert_eq!(
+            got_verified, *verified,
+            "{bench}: inter-warp verify count moved (got {got_verified}); \
+             Algorithm 1 changed"
+        );
+        assert_eq!(
+            got_stalls, *stalls,
+            "{bench}: checker stall cycles moved (got {got_stalls}); \
+             RAW/EagerStall behaviour changed"
         );
     }
 }
