@@ -26,7 +26,11 @@
 //! warped invariants [--check]     trace invariant suite + replay check
 //! warped run <bench> [--paper]    run one benchmark, verify, report
 //! warped figures   [--paper]      all figure harnesses, in order
-//! warped campaign  [--trials N] [--seed N]  fault campaigns (parallel chunks)
+//! warped campaign  [<bench>] [--site CLASS] [--trials N] [--seed N] [--json]
+//!                  [--checkpoint PATH] [--resume] [--fail-chunk C:N]
+//!                                 resilient fault campaigns: masked/detected/
+//!                                 SDC/hang taxonomy, checker-internal fault
+//!                                 sites, crash-safe resumable checkpointing
 //! warped bench     [--check]      throughput harness -> BENCH_simulator.json
 //! warped all       [--paper]      everything above, in order
 //! ```
@@ -42,16 +46,19 @@
 
 use std::process::ExitCode;
 use warped::experiments::{self, ExperimentConfig, ExperimentError};
-use warped::{baselines, dmr, isa, kernels, sim, trace};
+use warped::{baselines, dmr, faults, isa, kernels, sim, trace};
 
 fn usage() -> &'static str {
     "usage: warped <figure1|figure5|figure8a|figure8b|figure9a|figure9b|figure10|figure11|\
      table1|config|faults|ablation|diagnose <benchmark>|analyze <benchmark>|\n\
-     disasm <benchmark>|trace <benchmark>|invariants|run <benchmark>|figures|campaign|bench|all>\n\
+     disasm <benchmark>|trace <benchmark>|invariants|run <benchmark>|figures|\
+     campaign [<benchmark>]|bench|all>\n\
      options: [--paper|--quick] [--csv] [--json] [--trials N] [--count N]\n\
      \u{20}        [--threads N] [--seed N] [--check] [--format jsonl|chrome]\n\
-     \u{20}        [--out PATH] [--invariants]\n\
-     benchmarks: BFS Nqueen MUM SCAN BitonicSort Laplace MatrixMul RadixSort SHA Libor CUFFT"
+     \u{20}        [--out PATH] [--invariants] [--site CLASS] [--checkpoint PATH]\n\
+     \u{20}        [--resume] [--fail-chunk CHUNK:ATTEMPTS]\n\
+     benchmarks: BFS Nqueen MUM SCAN BitonicSort Laplace MatrixMul RadixSort SHA Libor CUFFT\n\
+     fault sites: lane_transient lane_stuck comparator rfu_mux replayq_meta rf_slot"
 }
 
 #[derive(Clone)]
@@ -69,6 +76,10 @@ struct Args {
     format: Option<String>,
     out: Option<String>,
     invariants: bool,
+    site: Option<String>,
+    checkpoint: Option<String>,
+    resume: bool,
+    fail_chunk: Option<(u32, u32)>,
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -87,6 +98,10 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         format: None,
         out: None,
         invariants: false,
+        site: None,
+        checkpoint: None,
+        resume: false,
+        fail_chunk: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -122,6 +137,25 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
                 parsed.out = Some(args.next().ok_or("--out needs a value")?);
             }
             "--invariants" => parsed.invariants = true,
+            "--site" => {
+                parsed.site = Some(args.next().ok_or("--site needs a value")?);
+            }
+            "--checkpoint" => {
+                parsed.checkpoint = Some(args.next().ok_or("--checkpoint needs a value")?);
+            }
+            "--resume" => parsed.resume = true,
+            "--fail-chunk" => {
+                let v = args.next().ok_or("--fail-chunk needs a value")?;
+                let (c, n) = v
+                    .split_once(':')
+                    .ok_or(format!("bad --fail-chunk {v} (expected CHUNK:ATTEMPTS)"))?;
+                parsed.fail_chunk = Some((
+                    c.parse()
+                        .map_err(|_| format!("bad --fail-chunk chunk index {c}"))?,
+                    n.parse()
+                        .map_err(|_| format!("bad --fail-chunk attempt count {n}"))?,
+                ));
+            }
             other if parsed.bench.is_none() && !other.starts_with('-') => {
                 parsed.bench = Some(other.to_string());
             }
@@ -133,6 +167,16 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
 
 fn heading(title: &str) {
     println!("\n== {title} ==");
+}
+
+/// Resolve the positional benchmark argument of `command`, failing with
+/// a typed usage error (non-zero exit) when it is missing or unknown.
+fn require_bench(args: &Args, command: &str) -> Result<kernels::Benchmark, ExperimentError> {
+    let name = args.bench.as_deref().ok_or_else(|| {
+        ExperimentError::Usage(format!("{command} needs a benchmark name\n{}", usage()))
+    })?;
+    kernels::Benchmark::from_name(name)
+        .ok_or_else(|| ExperimentError::Usage(format!("unknown benchmark {name}\n{}", usage())))
 }
 
 fn show(table: &warped::stats::Table, csv: bool) {
@@ -234,12 +278,13 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
             heading("Table 4: workloads");
             println!("{}", experiments::config_tables::table4());
         }
-        "faults" | "campaign" => {
+        "faults" => {
             heading("Fault injection: measured detection vs analytic coverage");
             let (_, t) = experiments::faults_exp::run(&cfg, args.trials, args.seed)?;
             show(&t, args.csv);
             println!("(transient rate should track coverage; DMTR misses all stuck-at faults)");
         }
+        "campaign" => return run_campaign(args, &cfg),
         "figures" => {
             for cmd in [
                 "figure1", "figure5", "figure8a", "figure8b", "figure9a", "figure9b", "figure10",
@@ -269,12 +314,12 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
             let report = experiments::throughput::run(&bcfg)?;
             println!("{}", report.to_json());
             if !args.check {
-                std::fs::write("BENCH_simulator.json", report.to_json() + "\n").unwrap_or_else(
-                    |e| {
-                        eprintln!("failed to write BENCH_simulator.json: {e}");
-                        std::process::exit(1);
-                    },
-                );
+                std::fs::write("BENCH_simulator.json", report.to_json() + "\n").map_err(|e| {
+                    ExperimentError::Io {
+                        path: "BENCH_simulator.json".to_string(),
+                        source: e,
+                    }
+                })?;
                 println!("wrote BENCH_simulator.json");
             }
         }
@@ -307,14 +352,7 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
             show(&t, args.csv);
         }
         "diagnose" => {
-            let Some(name) = args.bench.as_deref() else {
-                eprintln!("diagnose needs a benchmark name\n{}", usage());
-                return Ok(());
-            };
-            let Some(bench) = kernels::Benchmark::from_name(name) else {
-                eprintln!("unknown benchmark {name}\n{}", usage());
-                return Ok(());
-            };
+            let bench = require_bench(args, "diagnose")?;
             heading(&format!(
                 "Fault localization on {bench} (paper \u{00a7}3.4)"
             ));
@@ -368,14 +406,7 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
             }
         }
         "analyze" => {
-            let Some(name) = args.bench.as_deref() else {
-                eprintln!("analyze needs a benchmark name\n{}", usage());
-                return Ok(());
-            };
-            let Some(bench) = kernels::Benchmark::from_name(name) else {
-                eprintln!("unknown benchmark {name}\n{}", usage());
-                return Ok(());
-            };
+            let bench = require_bench(args, "analyze")?;
             let w = bench.build(cfg.size)?;
             let pcfg = warped::analysis::PredictConfig {
                 gpu: cfg.gpu.clone(),
@@ -390,26 +421,12 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
             }
         }
         "disasm" => {
-            let Some(name) = args.bench.as_deref() else {
-                eprintln!("disasm needs a benchmark name\n{}", usage());
-                return Ok(());
-            };
-            let Some(bench) = kernels::Benchmark::from_name(name) else {
-                eprintln!("unknown benchmark {name}\n{}", usage());
-                return Ok(());
-            };
+            let bench = require_bench(args, "disasm")?;
             let w = bench.build(cfg.size)?;
             print!("{}", isa::disasm::disassemble(w.kernel()));
         }
         "trace" => {
-            let Some(name) = args.bench.as_deref() else {
-                eprintln!("trace needs a benchmark name\n{}", usage());
-                return Ok(());
-            };
-            let Some(bench) = kernels::Benchmark::from_name(name) else {
-                eprintln!("unknown benchmark {name}\n{}", usage());
-                return Ok(());
-            };
+            let bench = require_bench(args, "trace")?;
             if args.format.is_some() || args.out.is_some() || args.invariants {
                 return trace_full(bench, &cfg, args);
             }
@@ -441,14 +458,7 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
             println!("all invariants hold; every trace replays to the exact live report");
         }
         "run" => {
-            let Some(name) = args.bench.as_deref() else {
-                eprintln!("run needs a benchmark name\n{}", usage());
-                return Ok(());
-            };
-            let Some(bench) = kernels::Benchmark::from_name(name) else {
-                eprintln!("unknown benchmark {name}\n{}", usage());
-                return Ok(());
-            };
+            let bench = require_bench(args, "run")?;
             heading(&format!("Running {bench} ({:?})", cfg.size));
             let w = bench.build(cfg.size)?;
             let mut engine = dmr::WarpedDmr::new(dmr::DmrConfig::default(), &cfg.gpu);
@@ -509,7 +519,83 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
             }
         }
         other => {
-            eprintln!("unknown command {other}\n{}", usage());
+            return Err(ExperimentError::Usage(format!(
+                "unknown command {other}\n{}",
+                usage()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// `warped campaign [<bench>] [--site CLASS] [--trials N] [--seed N]
+/// [--json] [--checkpoint PATH] [--resume] [--fail-chunk C:N]`:
+/// resilient fault-injection campaigns with the full outcome taxonomy.
+///
+/// Without a benchmark the campaign sweep covers
+/// [`experiments::faults_exp::CAMPAIGN_BENCHMARKS`]; without `--site`
+/// it covers every fault-site class. `--json` prints one canonical
+/// JSON report per line (bit-identical at any `--threads` and across
+/// any interrupt/resume pattern); the default is a table with 95%
+/// Wilson intervals. `--checkpoint` journals exactly one campaign, so
+/// it requires both a benchmark and `--site`.
+fn run_campaign(args: &Args, cfg: &ExperimentConfig) -> Result<(), ExperimentError> {
+    let benches: Vec<kernels::Benchmark> = match args.bench.as_deref() {
+        Some(_) => vec![require_bench(args, "campaign")?],
+        None => experiments::faults_exp::CAMPAIGN_BENCHMARKS.to_vec(),
+    };
+    let classes: Vec<faults::FaultSiteClass> = match args.site.as_deref() {
+        Some(s) => vec![faults::FaultSiteClass::from_wire(s).ok_or_else(|| {
+            ExperimentError::Usage(format!("unknown fault-site class {s}\n{}", usage()))
+        })?],
+        None => faults::FaultSiteClass::ALL.to_vec(),
+    };
+    if args.checkpoint.is_some() && (benches.len() != 1 || classes.len() != 1) {
+        return Err(ExperimentError::Usage(
+            "--checkpoint journals exactly one campaign; name a benchmark and a --site CLASS"
+                .to_string(),
+        ));
+    }
+    let mut opts = faults::ResilientOptions::default().with_threads(cfg.threads);
+    opts.checkpoint = args.checkpoint.as_deref().map(std::path::PathBuf::from);
+    opts.resume = args.resume;
+    opts.forced_panic = args
+        .fail_chunk
+        .map(|(chunk, attempts)| faults::ForcedPanic { chunk, attempts });
+
+    let mut reports = Vec::new();
+    for &bench in &benches {
+        for &class in &classes {
+            reports.push(experiments::faults_exp::resilient(
+                cfg,
+                bench,
+                class,
+                args.trials,
+                args.seed,
+                &opts,
+            )?);
+        }
+    }
+    if args.json {
+        for r in &reports {
+            println!("{}", r.to_json());
+        }
+    } else {
+        heading("Fault campaign: outcome taxonomy (masked / detected / SDC / hang)");
+        show(&experiments::faults_exp::taxonomy_table(&reports), args.csv);
+        println!("(rates carry 95% Wilson intervals, widened when chunks were skipped)");
+    }
+    for r in &reports {
+        if !r.failed_chunks.is_empty() {
+            eprintln!(
+                "warning: {} {}: {} chunk(s) skipped after exhausting retries; \
+                 result degraded to {} of {} trials",
+                r.bench,
+                r.class,
+                r.failed_chunks.len(),
+                r.result.trials,
+                r.result.planned
+            );
         }
     }
     Ok(())
@@ -533,12 +619,17 @@ fn trace_full(
     w.check(&run)?;
     let events = collector.lock().expect("collector poisoned").take();
 
-    let io_err = |e: std::io::Error| ExperimentError::Invariant(format!("trace output: {e}"));
+    let io_err = |path: &str| {
+        let path = path.to_string();
+        move |e: std::io::Error| ExperimentError::Io { path, source: e }
+    };
     let mut payload = Vec::new();
     if format == "chrome" {
         let mut chrome = trace::ChromeSink::new();
         trace::replay::feed(&events, &mut chrome);
-        chrome.write_to(&mut payload).map_err(io_err)?;
+        chrome
+            .write_to(&mut payload)
+            .map_err(io_err("trace buffer"))?;
     } else {
         for ev in &events {
             payload.extend_from_slice(trace::jsonl::to_line(ev).as_bytes());
@@ -547,7 +638,7 @@ fn trace_full(
     }
     match args.out.as_deref() {
         Some(path) => {
-            std::fs::write(path, &payload).map_err(io_err)?;
+            std::fs::write(path, &payload).map_err(io_err(path))?;
             eprintln!(
                 "wrote {} events ({} bytes, {format}) to {path}",
                 events.len(),
@@ -556,7 +647,9 @@ fn trace_full(
         }
         None => {
             use std::io::Write;
-            std::io::stdout().write_all(&payload).map_err(io_err)?;
+            std::io::stdout()
+                .write_all(&payload)
+                .map_err(io_err("stdout"))?;
         }
     }
 
@@ -588,6 +681,12 @@ fn main() -> ExitCode {
     };
     match run_command(&args) {
         Ok(()) => ExitCode::SUCCESS,
+        // Usage errors already read as full sentences (and embed the
+        // usage text); everything else gets the failure prefix.
+        Err(ExperimentError::Usage(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
         Err(e) => {
             eprintln!("experiment failed: {e}");
             ExitCode::FAILURE
@@ -684,6 +783,34 @@ mod tests {
         assert!(parse(&["trace", "SCAN", "--format"]).is_err());
         assert!(parse(&["trace", "SCAN", "--out"]).is_err());
         assert!(parse(&["invariants", "--check"]).unwrap().check);
+    }
+
+    #[test]
+    fn campaign_flags_parse() {
+        let a = parse(&[
+            "campaign",
+            "SCAN",
+            "--site",
+            "comparator",
+            "--checkpoint",
+            "j.jsonl",
+            "--resume",
+            "--fail-chunk",
+            "3:2",
+        ])
+        .unwrap();
+        assert_eq!(a.bench.as_deref(), Some("SCAN"));
+        assert_eq!(a.site.as_deref(), Some("comparator"));
+        assert_eq!(a.checkpoint.as_deref(), Some("j.jsonl"));
+        assert!(a.resume);
+        assert_eq!(a.fail_chunk, Some((3, 2)));
+        let b = parse(&["campaign"]).unwrap();
+        assert!(b.site.is_none() && b.checkpoint.is_none() && !b.resume);
+        assert!(b.fail_chunk.is_none());
+        assert!(parse(&["campaign", "--site"]).is_err());
+        assert!(parse(&["campaign", "--checkpoint"]).is_err());
+        assert!(parse(&["campaign", "--fail-chunk", "3"]).is_err());
+        assert!(parse(&["campaign", "--fail-chunk", "a:b"]).is_err());
     }
 
     #[test]

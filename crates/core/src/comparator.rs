@@ -20,9 +20,42 @@ pub struct LaneSite {
 /// A model of faulty execution hardware. `transform` returns the value a
 /// computation producing `value` would actually yield on `site` at
 /// `cycle` (identity for healthy lanes).
+///
+/// The remaining methods model faults in the *checker itself* — the
+/// comparator, the RFU forwarding muxes, and the ReplayQ storage the
+/// paper's §3.2 argument assumes fault-free. They default to healthy
+/// behavior so lane-only oracles need not implement them.
 pub trait FaultOracle {
     /// Corrupt (or pass through) `value` computed on `site` at `cycle`.
     fn transform(&self, site: LaneSite, cycle: u64, value: u32) -> u32;
+
+    /// Filter the comparator's raw mismatch verdict on `sm` at `cycle`.
+    /// A faulty comparator can swallow a real mismatch (stuck-at-"match")
+    /// — the canonical "who checks the checker" failure.
+    fn verdict(&self, _sm: usize, _cycle: u64, mismatch: bool) -> bool {
+        mismatch
+    }
+
+    /// Corrupt a result word read back from checker storage (the ReplayQ
+    /// entry or the unverified RF slot) on `sm` at `cycle`. Only the
+    /// inter-warp path buffers results, so only it consults this.
+    fn stored_value(&self, _sm: usize, _cycle: u64, value: u32) -> u32 {
+        value
+    }
+
+    /// Whether the RFU's mux select lines misroute the operand forwarded
+    /// to `verifier` on `sm`, making the intra-warp copy compute on the
+    /// wrong input (manifests as a spurious mismatch).
+    fn mux_misroute(&self, _sm: usize, _verifier: usize) -> bool {
+        false
+    }
+
+    /// Corrupt the active-mask metadata of a buffered ReplayQ entry on
+    /// `sm`. Dropped bits silently skip the corresponding lane's
+    /// verification (a coverage hole, not an error signal).
+    fn entry_mask(&self, _sm: usize, mask: u32) -> u32 {
+        mask
+    }
 }
 
 /// The always-healthy oracle.
@@ -118,6 +151,59 @@ pub fn compare_and_log(
     }
 }
 
+/// Which DMR datapath a comparison travels through — determines which
+/// checker-internal fault sites apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareStage {
+    /// Intra-warp: the original result is forwarded through the RFU muxes
+    /// in the same cycle; nothing is buffered.
+    Intra,
+    /// Inter-warp: the original result was buffered in the ReplayQ / RF
+    /// slot until the Replay Checker found a verification slot.
+    Inter,
+}
+
+/// [`compare_and_log`] with the checker-internal fault sites of `stage`
+/// applied: stored-copy corruption (inter only), RFU mux misroutes (intra
+/// only), and the comparator-verdict filter (both).
+///
+/// [`compare_and_log`] itself stays the checker-fault-free compare — the
+/// DMTR/residue baselines verify on the original core without Warped-DMR's
+/// forwarding or buffering hardware, so these sites don't exist there.
+#[allow(clippy::too_many_arguments)]
+pub fn compare_staged(
+    oracle: &dyn FaultOracle,
+    log: &mut ErrorLog,
+    stage: CompareStage,
+    sm: usize,
+    warp_uid: u64,
+    value: u32,
+    original: usize,
+    orig_cycle: u64,
+    verifier: usize,
+    verify_cycle: u64,
+) -> bool {
+    let mut o = oracle.transform(LaneSite { sm, lane: original }, orig_cycle, value);
+    if stage == CompareStage::Inter {
+        o = oracle.stored_value(sm, orig_cycle, o);
+    }
+    let v = oracle.transform(LaneSite { sm, lane: verifier }, verify_cycle, value);
+    let misroute = stage == CompareStage::Intra && oracle.mux_misroute(sm, verifier);
+    let mismatch = o != v || misroute;
+    if oracle.verdict(sm, verify_cycle, mismatch) {
+        log.record(DetectedError {
+            sm,
+            cycle: verify_cycle,
+            warp_uid,
+            original_lane: original,
+            verifier_lane: verifier,
+        });
+        true
+    } else {
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +252,137 @@ mod tests {
         let mut log = ErrorLog::default();
         let hit = compare_and_log(&StuckLane3, &mut log, 0, 7, 43, 3, 10, 0, 15);
         assert!(!hit);
+    }
+
+    /// A comparator on SM 0 that is stuck reporting "match".
+    struct MuteComparator;
+    impl FaultOracle for MuteComparator {
+        fn transform(&self, site: LaneSite, _cycle: u64, value: u32) -> u32 {
+            if site.sm == 0 && site.lane == 3 {
+                value | 1
+            } else {
+                value
+            }
+        }
+        fn verdict(&self, sm: usize, _cycle: u64, mismatch: bool) -> bool {
+            mismatch && sm != 0
+        }
+    }
+
+    #[test]
+    fn staged_compare_matches_plain_compare_for_lane_oracles() {
+        for stage in [CompareStage::Intra, CompareStage::Inter] {
+            let mut a = ErrorLog::default();
+            let mut b = ErrorLog::default();
+            let plain = compare_and_log(&StuckLane3, &mut a, 0, 7, 42, 3, 10, 0, 15);
+            let staged = compare_staged(&StuckLane3, &mut b, stage, 0, 7, 42, 3, 10, 0, 15);
+            assert_eq!(plain, staged);
+            assert_eq!(a.total(), b.total());
+        }
+    }
+
+    #[test]
+    fn mute_comparator_swallows_a_real_mismatch() {
+        let mut log = ErrorLog::default();
+        let hit = compare_staged(
+            &MuteComparator,
+            &mut log,
+            CompareStage::Inter,
+            0,
+            7,
+            42,
+            3,
+            10,
+            0,
+            15,
+        );
+        assert!(!hit, "stuck-at-match comparator must hide the lane fault");
+        assert!(!log.any());
+    }
+
+    #[test]
+    fn stored_copy_corruption_fires_only_on_the_inter_path() {
+        struct RottenStore;
+        impl FaultOracle for RottenStore {
+            fn transform(&self, _s: LaneSite, _c: u64, value: u32) -> u32 {
+                value
+            }
+            fn stored_value(&self, _sm: usize, _c: u64, value: u32) -> u32 {
+                value ^ 4
+            }
+        }
+        let mut log = ErrorLog::default();
+        assert!(compare_staged(
+            &RottenStore,
+            &mut log,
+            CompareStage::Inter,
+            0,
+            7,
+            42,
+            3,
+            10,
+            0,
+            15,
+        ));
+        assert!(!compare_staged(
+            &RottenStore,
+            &mut log,
+            CompareStage::Intra,
+            0,
+            7,
+            42,
+            3,
+            10,
+            0,
+            15,
+        ));
+    }
+
+    #[test]
+    fn mux_misroute_fires_only_on_the_intra_path() {
+        struct BadMux;
+        impl FaultOracle for BadMux {
+            fn transform(&self, _s: LaneSite, _c: u64, value: u32) -> u32 {
+                value
+            }
+            fn mux_misroute(&self, _sm: usize, verifier: usize) -> bool {
+                verifier == 0
+            }
+        }
+        let mut log = ErrorLog::default();
+        assert!(compare_staged(
+            &BadMux,
+            &mut log,
+            CompareStage::Intra,
+            0,
+            7,
+            42,
+            3,
+            10,
+            0,
+            15,
+        ));
+        assert!(!compare_staged(
+            &BadMux,
+            &mut log,
+            CompareStage::Inter,
+            0,
+            7,
+            42,
+            3,
+            10,
+            0,
+            15,
+        ));
+    }
+
+    #[test]
+    fn default_checker_methods_are_healthy() {
+        assert!(HealthyOracle.verdict(0, 1, true));
+        assert!(!HealthyOracle.verdict(0, 1, false));
+        assert_eq!(HealthyOracle.stored_value(0, 1, 9), 9);
+        assert!(!HealthyOracle.mux_misroute(0, 5));
+        assert_eq!(HealthyOracle.entry_mask(0, 0xF0), 0xF0);
     }
 
     #[test]

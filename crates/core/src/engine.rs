@@ -2,7 +2,7 @@
 //! simulator's issue stream.
 
 use crate::checker::{CheckerStats, Incoming, ReplayChecker, VerifyEvent};
-use crate::comparator::{compare_and_log, ErrorLog, FaultOracle};
+use crate::comparator::{compare_staged, CompareStage, ErrorLog, FaultOracle};
 use crate::config::DmrConfig;
 use crate::intra::{self, IntraPlan};
 use crate::mapping::physical_lane;
@@ -237,16 +237,22 @@ impl WarpedDmr {
             self.report.inter_covered += u64::from(n);
             self.report.bucket_covered[bucket_of(n)] += u64::from(n);
             if let Some(oracle) = self.oracle.as_deref() {
+                // A ReplayQ metadata fault can only *drop* mask bits: a
+                // phantom set bit would compare garbage the entry never
+                // stored, so the corrupted mask is intersected with the
+                // real one. Dropped bits silently skip verification.
+                let stored_mask = oracle.entry_mask(sm, ev.entry.mask) & ev.entry.mask;
                 for t in 0..WARP_SIZE {
-                    if ev.entry.mask & (1 << t) == 0 {
+                    if stored_mask & (1 << t) == 0 {
                         continue;
                     }
                     let orig =
                         physical_lane(self.config.mapping, t, WARP_SIZE, self.config.cluster_size);
                     let ver = verify_lane(orig, self.config.cluster_size, self.config.lane_shuffle);
-                    if compare_and_log(
+                    if compare_staged(
                         oracle,
                         &mut self.errors,
+                        CompareStage::Inter,
                         sm,
                         ev.entry.warp_uid,
                         ev.entry.results[t],
@@ -307,9 +313,10 @@ impl IssueObserver for WarpedDmr {
             });
             if let Some(oracle) = self.oracle.as_deref() {
                 for (ver, act, thread) in &plan.pairs {
-                    if compare_and_log(
+                    if compare_staged(
                         oracle,
                         &mut self.errors,
+                        CompareStage::Intra,
                         info.sm_id,
                         info.warp_uid,
                         info.results[*thread],

@@ -82,22 +82,85 @@ pub enum Protection {
 }
 
 /// Outcome of a campaign.
+///
+/// The legacy detection campaigns ([`transient_campaign`],
+/// [`stuck_at_campaign`]) populate `trials`/`detected` only; the
+/// resilient campaigns ([`crate::resilient::resilient_campaign`])
+/// classify every trial into the full masked/detected/SDC/hang
+/// taxonomy and additionally record the planned-vs-completed gap when
+/// chunks were skipped after exhausting their retry budget.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CampaignResult {
-    /// Faults injected.
+    /// Faults injected (trials that actually completed).
     pub trials: u32,
-    /// Faults the comparator caught.
+    /// Trials the comparator caught (or that trapped: DUE).
     pub detected: u32,
+    /// Trials whose output was bit-identical to golden.
+    pub masked: u32,
+    /// Silent data corruptions (clean completion, wrong output).
+    pub sdc: u32,
+    /// Trials that exceeded their cycle/wall budget undetected.
+    pub hangs: u32,
+    /// Trials the campaign planned (`trials + skipped`); zero in
+    /// legacy campaigns, which never skip.
+    pub planned: u32,
+    /// Trials lost to chunks that exhausted their retry budget.
+    pub skipped: u32,
 }
 
 impl CampaignResult {
-    /// Detected fraction in percent.
+    /// Detected fraction in percent (of completed trials).
     pub fn detection_rate_pct(&self) -> f64 {
         if self.trials == 0 {
             0.0
         } else {
             100.0 * self.detected as f64 / self.trials as f64
         }
+    }
+
+    /// Completed-trial count for one outcome class.
+    pub fn count(&self, class: crate::outcome::TrialOutcome) -> u32 {
+        use crate::outcome::TrialOutcome;
+        match class {
+            TrialOutcome::Masked => self.masked,
+            TrialOutcome::Detected => self.detected,
+            TrialOutcome::Sdc => self.sdc,
+            TrialOutcome::Hang => self.hangs,
+        }
+    }
+
+    /// The interval denominator: planned trials when known (resilient
+    /// campaigns), completed trials otherwise.
+    pub fn denominator(&self) -> u32 {
+        if self.planned > 0 {
+            self.planned
+        } else {
+            self.trials
+        }
+    }
+
+    /// Observed rate of one class, in percent of the denominator.
+    pub fn rate_pct(&self, class: crate::outcome::TrialOutcome) -> f64 {
+        let n = self.denominator();
+        if n == 0 {
+            0.0
+        } else {
+            100.0 * f64::from(self.count(class)) / f64::from(n)
+        }
+    }
+
+    /// 95% Wilson interval for one class's rate, in percent.
+    ///
+    /// Skipped trials widen the interval pessimistically: each one
+    /// *might* have landed in this class, so the lower bound assumes
+    /// none did and the upper bound assumes all did. With nothing
+    /// skipped this is the plain Wilson interval.
+    pub fn interval_pct(&self, class: crate::outcome::TrialOutcome) -> (f64, f64) {
+        let n = self.denominator();
+        let c = self.count(class);
+        let (lo, _) = crate::outcome::wilson_interval(c, n);
+        let (_, hi) = crate::outcome::wilson_interval(c.saturating_add(self.skipped).min(n), n);
+        (100.0 * lo, 100.0 * hi)
     }
 }
 

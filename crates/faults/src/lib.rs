@@ -13,11 +13,24 @@
 //! * [`campaign`] — drives repeated protected runs and classifies each
 //!   trial as detected or silent, for Warped-DMR and the DMTR baseline
 //!   (demonstrating the hidden-error problem of core affinity, §3.2).
+//! * [`resilient`] — crash-safe, resumable campaigns with the full
+//!   masked / detected / SDC / hang taxonomy ([`outcome`]), checker-
+//!   internal fault sites ([`model::CheckerFault`]), per-chunk panic
+//!   isolation with retries, and an fsynced checkpoint [`journal`].
 
 pub mod campaign;
 pub mod injector;
+pub mod journal;
 pub mod model;
+pub mod outcome;
+pub mod resilient;
 
 pub use campaign::{stuck_at_campaign, transient_campaign, CampaignResult};
 pub use injector::ExecutionSampler;
-pub use model::FaultModel;
+pub use journal::{ChunkCounts, ChunkRecord, Journal, JournalError, JournalHeader};
+pub use model::{CheckerFault, CompoundFault, FaultModel};
+pub use outcome::{wilson_interval, TrialOutcome};
+pub use resilient::{
+    resilient_campaign, CampaignError, FaultSiteClass, ForcedPanic, ResilientOptions,
+    ResilientReport,
+};

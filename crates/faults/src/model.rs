@@ -78,6 +78,178 @@ impl FaultOracle for FaultModel {
     }
 }
 
+/// A fault inside the detection hardware itself — the paper's §3.2
+/// "who checks the checker" question. These sites never corrupt the
+/// datapath; they degrade (or spuriously trigger) *detection*, which is
+/// why campaigns pair them with a datapath fault to measure how much
+/// coverage survives a broken checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckerFault {
+    /// The DMR comparator on `sm` is stuck reporting "equal": every
+    /// real mismatch is swallowed (fail-silent checker).
+    ComparatorStuckPass {
+        /// SM whose comparator is dead.
+        sm: usize,
+    },
+    /// An RFU operand-mux select wire on `sm` is broken: verifications
+    /// routed through SIMT cluster `cluster` compare against the wrong
+    /// forwarded operand and fire spuriously (fail-loud checker).
+    RfuMuxSelect {
+        /// SM whose RFU is afflicted.
+        sm: usize,
+        /// Index of the broken 4-lane cluster.
+        cluster: usize,
+        /// Lanes per cluster (to map verifier lanes to clusters).
+        cluster_size: usize,
+    },
+    /// A ReplayQ entry-metadata cell on `sm` is dead: active-mask bit
+    /// `bit` always reads as zero, so that lane's buffered copy is
+    /// silently skipped by inter-warp verification.
+    ReplayqMaskDrop {
+        /// SM whose ReplayQ is afflicted.
+        sm: usize,
+        /// The mask bit that reads as zero.
+        bit: u8,
+    },
+    /// A weak cell in the unverified-result RF slot on `sm`: stored
+    /// original values read back with bit `bit` flipped, so inter-warp
+    /// comparisons fire spuriously (fail-loud, but it burns ReplayQ
+    /// bandwidth and masks the *location* of real faults).
+    StoredResultFlip {
+        /// SM whose RF slot is afflicted.
+        sm: usize,
+        /// The flipped storage bit.
+        bit: u8,
+    },
+}
+
+impl CheckerFault {
+    /// The afflicted SM.
+    pub fn sm(&self) -> usize {
+        match *self {
+            CheckerFault::ComparatorStuckPass { sm }
+            | CheckerFault::RfuMuxSelect { sm, .. }
+            | CheckerFault::ReplayqMaskDrop { sm, .. }
+            | CheckerFault::StoredResultFlip { sm, .. } => sm,
+        }
+    }
+
+    /// Whether this fault can *hide* real errors (as opposed to firing
+    /// spuriously).
+    pub fn is_fail_silent(&self) -> bool {
+        matches!(
+            self,
+            CheckerFault::ComparatorStuckPass { .. } | CheckerFault::ReplayqMaskDrop { .. }
+        )
+    }
+}
+
+impl FaultOracle for CheckerFault {
+    // The datapath is healthy under a pure checker fault.
+    fn transform(&self, _site: LaneSite, _cycle: u64, value: u32) -> u32 {
+        value
+    }
+
+    fn verdict(&self, sm: usize, _cycle: u64, mismatch: bool) -> bool {
+        match *self {
+            CheckerFault::ComparatorStuckPass { sm: s } if s == sm => false,
+            _ => mismatch,
+        }
+    }
+
+    fn stored_value(&self, sm: usize, _cycle: u64, value: u32) -> u32 {
+        match *self {
+            CheckerFault::StoredResultFlip { sm: s, bit } if s == sm => value ^ (1 << bit),
+            _ => value,
+        }
+    }
+
+    fn mux_misroute(&self, sm: usize, verifier: usize) -> bool {
+        match *self {
+            CheckerFault::RfuMuxSelect {
+                sm: s,
+                cluster,
+                cluster_size,
+            } => s == sm && verifier / cluster_size.max(1) == cluster,
+            _ => false,
+        }
+    }
+
+    fn entry_mask(&self, sm: usize, mask: u32) -> u32 {
+        match *self {
+            CheckerFault::ReplayqMaskDrop { sm: s, bit } if s == sm => mask & !(1 << bit),
+            _ => mask,
+        }
+    }
+}
+
+/// A datapath fault and/or a checker-internal fault active in the same
+/// run — the oracle the resilient campaigns hand to the DMR engine.
+/// Either side may be absent; a default `CompoundFault` is a healthy
+/// machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompoundFault {
+    /// The datapath (execution-unit) fault, if any.
+    pub lane: Option<FaultModel>,
+    /// The checker-internal fault, if any.
+    pub checker: Option<CheckerFault>,
+}
+
+impl CompoundFault {
+    /// A pure datapath fault.
+    pub fn lane_only(model: FaultModel) -> Self {
+        CompoundFault {
+            lane: Some(model),
+            checker: None,
+        }
+    }
+
+    /// A datapath fault observed through a broken checker.
+    pub fn with_checker(model: FaultModel, checker: CheckerFault) -> Self {
+        CompoundFault {
+            lane: Some(model),
+            checker: Some(checker),
+        }
+    }
+}
+
+impl FaultOracle for CompoundFault {
+    fn transform(&self, site: LaneSite, cycle: u64, value: u32) -> u32 {
+        match self.lane {
+            Some(f) => f.transform(site, cycle, value),
+            None => value,
+        }
+    }
+
+    fn verdict(&self, sm: usize, cycle: u64, mismatch: bool) -> bool {
+        match self.checker {
+            Some(c) => c.verdict(sm, cycle, mismatch),
+            None => mismatch,
+        }
+    }
+
+    fn stored_value(&self, sm: usize, cycle: u64, value: u32) -> u32 {
+        match self.checker {
+            Some(c) => c.stored_value(sm, cycle, value),
+            None => value,
+        }
+    }
+
+    fn mux_misroute(&self, sm: usize, verifier: usize) -> bool {
+        match self.checker {
+            Some(c) => c.mux_misroute(sm, verifier),
+            None => false,
+        }
+    }
+
+    fn entry_mask(&self, sm: usize, mask: u32) -> u32 {
+        match self.checker {
+            Some(c) => c.entry_mask(sm, mask),
+            None => mask,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +314,69 @@ mod tests {
         };
         let once = f.transform(SITE, 1, 12345);
         assert_eq!(f.transform(SITE, 2, once), once);
+    }
+
+    #[test]
+    fn dead_comparator_swallows_mismatches_on_its_sm_only() {
+        let f = CheckerFault::ComparatorStuckPass { sm: 2 };
+        assert!(!f.verdict(2, 10, true));
+        assert!(f.verdict(3, 10, true));
+        assert!(!f.verdict(3, 10, false));
+        assert!(f.is_fail_silent());
+        assert_eq!(f.sm(), 2);
+        // Datapath untouched.
+        assert_eq!(f.transform(SITE, 0, 77), 77);
+    }
+
+    #[test]
+    fn broken_mux_misroutes_exactly_its_cluster() {
+        let f = CheckerFault::RfuMuxSelect {
+            sm: 0,
+            cluster: 1,
+            cluster_size: 4,
+        };
+        assert!(f.mux_misroute(0, 4));
+        assert!(f.mux_misroute(0, 7));
+        assert!(!f.mux_misroute(0, 3));
+        assert!(!f.mux_misroute(0, 8));
+        assert!(!f.mux_misroute(1, 5), "other SMs are healthy");
+        assert!(!f.is_fail_silent());
+    }
+
+    #[test]
+    fn dead_mask_cell_drops_its_bit() {
+        let f = CheckerFault::ReplayqMaskDrop { sm: 1, bit: 3 };
+        assert_eq!(f.entry_mask(1, 0b1111), 0b0111);
+        assert_eq!(f.entry_mask(0, 0b1111), 0b1111);
+        assert!(f.is_fail_silent());
+    }
+
+    #[test]
+    fn weak_rf_cell_flips_stored_values() {
+        let f = CheckerFault::StoredResultFlip { sm: 0, bit: 0 };
+        assert_eq!(f.stored_value(0, 9, 0), 1);
+        assert_eq!(f.stored_value(2, 9, 0), 0);
+        assert!(!f.is_fail_silent());
+    }
+
+    #[test]
+    fn compound_combines_both_halves_and_defaults_healthy() {
+        let healthy = CompoundFault::default();
+        assert_eq!(healthy.transform(SITE, 5, 42), 42);
+        assert!(healthy.verdict(0, 0, true));
+        assert_eq!(healthy.entry_mask(0, 0xf), 0xf);
+        assert_eq!(healthy.stored_value(0, 0, 3), 3);
+        assert!(!healthy.mux_misroute(0, 0));
+
+        let lane = FaultModel::TransientFlip {
+            site: SITE,
+            cycle: 5,
+            bit: 0,
+        };
+        let both = CompoundFault::with_checker(lane, CheckerFault::ComparatorStuckPass { sm: 1 });
+        assert_eq!(both.transform(SITE, 5, 0), 1, "datapath half applies");
+        assert!(!both.verdict(1, 5, true), "checker half swallows");
+        let solo = CompoundFault::lane_only(lane);
+        assert!(solo.verdict(1, 5, true));
     }
 }

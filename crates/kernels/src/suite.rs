@@ -255,6 +255,29 @@ impl Workload {
         self.inner.execute(&mut gpu, observer)
     }
 
+    /// Run on a fresh GPU with a datapath fault attached: every unit
+    /// output passes through `fault` before writeback (see
+    /// [`warped_sim::LaneFault`]). This is the injection entry point of
+    /// the resilient campaigns; the fault-free golden run uses the same
+    /// `config` (including cycle/wall budgets) through [`Workload::run_with`],
+    /// so any output divergence is attributable to the fault alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors — including
+    /// [`SimError::Hang`](warped_sim::SimError) when the corrupted run
+    /// exceeds the config's cycle or wall-clock budget.
+    pub fn run_faulted(
+        &self,
+        config: &GpuConfig,
+        observer: &mut dyn IssueObserver,
+        fault: std::sync::Arc<dyn warped_sim::LaneFault>,
+    ) -> Result<ProgramRun, SimError> {
+        let mut gpu = Gpu::new(config.clone());
+        gpu.set_fault(fault);
+        self.inner.execute(&mut gpu, observer)
+    }
+
     /// Run on an existing GPU (memory is reset first).
     ///
     /// # Errors

@@ -34,6 +34,10 @@
 //! assert_eq!(squares, (0..32u64).map(|i| i * i).collect::<Vec<_>>());
 //! ```
 
+pub mod retry;
+
+pub use retry::{Attempted, JobPanic, RetryPolicy};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

@@ -1,0 +1,47 @@
+//! Architectural fault injection into the execution datapath.
+//!
+//! The DMR engines observe issue slots and keep their *own* view of what a
+//! faulty lane would have produced (via `FaultOracle` in `warped-core`);
+//! that view never changes the simulated machine state, so a campaign built
+//! on it can only measure detection, never silent data corruption. A
+//! [`LaneFault`] attached to the [`Gpu`](crate::Gpu) closes that gap: it
+//! corrupts the value an execution unit actually produces, so the fault
+//! propagates into registers, memory, addresses, and branch decisions —
+//! and the final architectural output can be compared against a fault-free
+//! golden run to classify the trial as masked / detected / SDC / hang.
+
+/// A fault in one SM's execution datapath.
+///
+/// `corrupt` is called once per *produced value* at the point the unit
+/// hands it to writeback: ALU/SFU results, load/store address computations,
+/// and branch taken-decisions (as `0`/`1`). `lane` is the warp's **logical**
+/// lane index (the thread's position in the warp); callers modelling a
+/// physical-lane fault apply their thread→core mapping before matching.
+///
+/// Implementations must be cheap and pure: the same `(sm, lane, cycle,
+/// value)` must always yield the same result, or campaign runs stop being
+/// reproducible.
+pub trait LaneFault: Send + Sync {
+    /// Transform a value produced on `lane` of `sm` at `cycle`.
+    fn corrupt(&self, sm: usize, lane: usize, cycle: u64, value: u32) -> u32;
+}
+
+/// A fault-free datapath (identity transform), useful as a default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFault;
+
+impl LaneFault for NoFault {
+    fn corrupt(&self, _sm: usize, _lane: usize, _cycle: u64, value: u32) -> u32 {
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fault_is_identity() {
+        assert_eq!(NoFault.corrupt(0, 3, 99, 0xDEAD), 0xDEAD);
+    }
+}

@@ -1,10 +1,13 @@
 //! The GPU chip: block dispatch across SMs and the global cycle loop.
 
 use crate::config::GpuConfig;
+use crate::fault::LaneFault;
 use crate::launch::{LaunchConfig, RunStats, SimError};
 use crate::memory::GlobalMemory;
 use crate::observer::IssueObserver;
 use crate::sm::{Sm, StepOutcome};
+use std::sync::Arc;
+use std::time::Instant;
 use warped_isa::Kernel;
 use warped_trace::{TraceEvent, TraceHandle};
 
@@ -36,13 +39,24 @@ use warped_trace::{TraceEvent, TraceHandle};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct Gpu {
     config: GpuConfig,
     global: GlobalMemory,
     block_redundancy: u32,
     trace: TraceHandle,
+    fault: Option<Arc<dyn LaneFault>>,
     launch_seq: u32,
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("config", &self.config)
+            .field("block_redundancy", &self.block_redundancy)
+            .field("fault", &self.fault.is_some())
+            .field("launch_seq", &self.launch_seq)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Gpu {
@@ -60,8 +74,17 @@ impl Gpu {
             global,
             block_redundancy: 1,
             trace: TraceHandle::disabled(),
+            fault: None,
             launch_seq: 0,
         }
+    }
+
+    /// Corrupt the execution datapath of subsequent launches with `fault`
+    /// (fault-injection campaigns). Unlike the observer-side oracles this
+    /// changes real machine state, so silent data corruption and hangs
+    /// become reachable outcomes.
+    pub fn set_fault(&mut self, fault: Arc<dyn LaneFault>) {
+        self.fault = Some(fault);
     }
 
     /// Route cycle-level events of subsequent launches to `trace`. SM
@@ -154,6 +177,9 @@ impl Gpu {
             .map(|i| {
                 let mut sm = Sm::new(i, self.config.clone());
                 sm.set_trace(self.trace.clone());
+                if let Some(fault) = &self.fault {
+                    sm.set_fault(fault.clone());
+                }
                 sm
             })
             .collect();
@@ -192,6 +218,9 @@ impl Gpu {
         }
 
         let watchdog = self.config.global_latency + 10_000;
+        let cycle_budget = self.config.max_cycles;
+        let wall_budget_ms = self.config.wall_budget_ms;
+        let started = (wall_budget_ms != 0).then(Instant::now);
         let mut cycle: u64 = 0;
         let mut last_progress: u64 = 0;
         let mut finish: Vec<u64> = vec![0; sms.len()];
@@ -230,6 +259,17 @@ impl Gpu {
             cycle += 1;
             if cycle.saturating_sub(last_progress) > watchdog {
                 return Err(SimError::Deadlock { cycle });
+            }
+            if cycle_budget != 0 && cycle >= cycle_budget {
+                return Err(SimError::Hang { cycle });
+            }
+            // The wall-clock watchdog is a liveness backstop on top of the
+            // cycle budget; polled sparsely so the Instant read stays off
+            // the per-cycle path.
+            if let Some(start) = started {
+                if cycle & 0xFFF == 0 && start.elapsed().as_millis() as u64 > wall_budget_ms {
+                    return Err(SimError::Hang { cycle });
+                }
             }
         }
         // Report completion for SMs that finished exactly at loop exit.
@@ -360,6 +400,73 @@ mod tests {
             err,
             SimError::BlockTooLarge { warps: 64, max: 32 }
         ));
+    }
+
+    #[test]
+    fn cycle_budget_trips_as_hang() {
+        let mut gpu = Gpu::new(GpuConfig::small().with_cycle_budget(3));
+        let n = 256usize;
+        let xb = gpu.alloc_words(n);
+        let yb = gpu.alloc_words(n);
+        let launch = LaunchConfig::linear(4, 64).with_params(vec![xb, yb, 0]);
+        let err = gpu
+            .launch(&saxpy_kernel(), &launch, &mut NullObserver)
+            .unwrap_err();
+        assert_eq!(err, SimError::Hang { cycle: 3 });
+    }
+
+    #[test]
+    fn generous_cycle_budget_does_not_perturb_the_run() {
+        let run = |budget| {
+            let mut gpu = Gpu::new(GpuConfig::small().with_cycle_budget(budget));
+            let n = 64usize;
+            let xb = gpu.alloc_words(n);
+            let yb = gpu.alloc_words(n);
+            let launch = LaunchConfig::linear(2, 32).with_params(vec![xb, yb, 0]);
+            let stats = gpu.launch(&saxpy_kernel(), &launch, &mut NullObserver);
+            (stats.unwrap(), gpu.read_words(yb, n))
+        };
+        assert_eq!(run(0), run(1 << 20));
+    }
+
+    #[test]
+    fn injected_datapath_fault_corrupts_architectural_output() {
+        use crate::fault::LaneFault;
+
+        // Flip bit 0 of everything lane 5 produces after cycle 0: the
+        // stored saxpy result for that lane must differ from the clean run.
+        struct FlipLane5;
+        impl LaneFault for FlipLane5 {
+            fn corrupt(&self, _sm: usize, lane: usize, _cycle: u64, value: u32) -> u32 {
+                if lane == 5 {
+                    value ^ 1
+                } else {
+                    value
+                }
+            }
+        }
+
+        let run = |faulty: bool| {
+            let mut gpu = Gpu::new(GpuConfig::small());
+            if faulty {
+                gpu.set_fault(std::sync::Arc::new(FlipLane5));
+            }
+            let n = 32usize;
+            let xb = gpu.alloc_words(n);
+            let yb = gpu.alloc_words(n);
+            let xs: Vec<u32> = (0..n).map(|i| (i as f32).to_bits()).collect();
+            gpu.write_words(xb, &xs);
+            gpu.write_words(yb, &vec![1.0f32.to_bits(); n]);
+            let launch = LaunchConfig::linear(1, 32).with_params(vec![xb, yb, 2.0f32.to_bits()]);
+            gpu.launch(&saxpy_kernel(), &launch, &mut NullObserver)
+                .unwrap();
+            gpu.read_words(yb, n)
+        };
+        let clean = run(false);
+        let dirty = run(true);
+        assert_ne!(clean, dirty, "fault must reach architectural state");
+        // Determinism: the corrupted run reproduces bit-for-bit.
+        assert_eq!(dirty, run(true));
     }
 
     #[test]

@@ -111,6 +111,15 @@ pub enum SimError {
         /// The bad program counter value.
         pc: u32,
     },
+    /// The launch exceeded its cycle or wall-clock budget
+    /// ([`GpuConfig::max_cycles`] / [`GpuConfig::wall_budget_ms`]).
+    /// Distinct from [`SimError::Deadlock`]: the machine was still making
+    /// progress, it just ran implausibly long — how an injected fault that
+    /// corrupts a loop bound or branch predicate manifests.
+    Hang {
+        /// Cycle at which the budget tripped.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -130,6 +139,9 @@ impl fmt::Display for SimError {
                 write!(f, "no progress by cycle {cycle} (barrier deadlock?)")
             }
             SimError::PcOutOfRange { pc } => write!(f, "pc {pc} past end of kernel"),
+            SimError::Hang { cycle } => {
+                write!(f, "launch exceeded its budget at cycle {cycle} (hang)")
+            }
         }
     }
 }
@@ -267,6 +279,7 @@ mod tests {
             SimError::MissingParam { index: 2 },
             SimError::Deadlock { cycle: 9 },
             SimError::PcOutOfRange { pc: 1 },
+            SimError::Hang { cycle: 77 },
         ] {
             assert!(!e.to_string().is_empty());
         }

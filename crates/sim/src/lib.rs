@@ -55,6 +55,7 @@
 
 pub mod collectors;
 pub mod config;
+pub mod fault;
 pub mod functional;
 pub mod gpu;
 pub mod launch;
@@ -67,6 +68,7 @@ pub mod value;
 pub mod warp;
 
 pub use config::{GpuConfig, SchedulerPolicy, WARP_SIZE};
+pub use fault::{LaneFault, NoFault};
 pub use gpu::Gpu;
 pub use launch::{LaunchConfig, RunStats, SimError};
 pub use observer::{IssueInfo, IssueObserver, MultiObserver, NullObserver};

@@ -8,11 +8,13 @@
 //! scoreboard (RF latency + unit latency).
 
 use crate::config::{GpuConfig, WARP_SIZE};
+use crate::fault::LaneFault;
 use crate::functional::{eval_bin, eval_cmp, eval_ffma, eval_imad, eval_sel, eval_sfu, eval_un};
 use crate::launch::{LaunchConfig, SimError};
 use crate::memory::{GlobalMemory, SharedMemory};
 use crate::observer::{IssueInfo, IssueObserver};
 use crate::warp::Warp;
+use std::sync::Arc;
 use warped_isa::{Instruction, Kernel, Operand, Space, SpecialReg, UnitType};
 use warped_trace::{TraceEvent, TraceHandle};
 
@@ -58,7 +60,6 @@ pub struct SmStats {
 }
 
 /// One streaming multiprocessor.
-#[derive(Debug)]
 pub struct Sm {
     /// SM index on the chip.
     pub id: usize,
@@ -68,8 +69,19 @@ pub struct Sm {
     rr_next: usize,
     stall_cycles_left: u64,
     trace: TraceHandle,
+    fault: Option<Arc<dyn LaneFault>>,
     /// Statistics accumulated so far.
     pub stats: SmStats,
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm")
+            .field("id", &self.id)
+            .field("fault", &self.fault.is_some())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Outcome of one SM cycle, for the GPU's progress watchdog.
@@ -96,6 +108,7 @@ impl Sm {
             rr_next: 0,
             stall_cycles_left: 0,
             trace: TraceHandle::disabled(),
+            fault: None,
             stats: SmStats::default(),
         }
     }
@@ -103,6 +116,11 @@ impl Sm {
     /// Route this SM's cycle-level events to `trace`.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Corrupt this SM's datapath with `fault` (fault-injection campaigns).
+    pub fn set_fault(&mut self, fault: Arc<dyn LaneFault>) {
+        self.fault = Some(fault);
     }
 
     /// Whether any block is resident.
@@ -281,6 +299,17 @@ impl Sm {
         // Writeback bookkeeping collected during execution.
         let mut writeback: Option<(warped_isa::Reg, u64)> = None;
 
+        // Datapath corruption hook (fault campaigns): transforms every
+        // value a unit produces — ALU/SFU results, load/store address
+        // computations, branch decisions — before it reaches writeback.
+        // Without a fault this is one `None` check per value.
+        let fault = self.fault.as_deref();
+        let sm_id = self.id;
+        let hurt = move |lane: usize, v: u32| match fault {
+            Some(f) => f.corrupt(sm_id, lane, cycle, v),
+            None => v,
+        };
+
         {
             let block = self.block_slots[bslot]
                 .as_mut()
@@ -299,7 +328,7 @@ impl Sm {
                     for lane in lanes(mask) {
                         let av = operand(&warp, block, launch, lane, a)?;
                         let bv = operand(&warp, block, launch, lane, b)?;
-                        results[lane] = eval_bin(op, av, bv);
+                        results[lane] = hurt(lane, eval_bin(op, av, bv));
                     }
                     write_lanes(&mut warp, mask, dst, &results);
                     writeback = Some((
@@ -314,7 +343,7 @@ impl Sm {
                 Instruction::Un { op, dst, a } => {
                     for lane in lanes(mask) {
                         let av = operand(&warp, block, launch, lane, a)?;
-                        results[lane] = eval_un(op, av);
+                        results[lane] = hurt(lane, eval_un(op, av));
                     }
                     write_lanes(&mut warp, mask, dst, &results);
                     writeback = Some((
@@ -331,7 +360,7 @@ impl Sm {
                         let av = operand(&warp, block, launch, lane, a)?;
                         let bv = operand(&warp, block, launch, lane, b)?;
                         let cv = operand(&warp, block, launch, lane, c)?;
-                        results[lane] = eval_imad(av, bv, cv);
+                        results[lane] = hurt(lane, eval_imad(av, bv, cv));
                     }
                     write_lanes(&mut warp, mask, dst, &results);
                     writeback = Some((
@@ -348,7 +377,7 @@ impl Sm {
                         let av = operand(&warp, block, launch, lane, a)?;
                         let bv = operand(&warp, block, launch, lane, b)?;
                         let cv = operand(&warp, block, launch, lane, c)?;
-                        results[lane] = eval_ffma(av, bv, cv);
+                        results[lane] = hurt(lane, eval_ffma(av, bv, cv));
                     }
                     write_lanes(&mut warp, mask, dst, &results);
                     writeback = Some((
@@ -364,7 +393,7 @@ impl Sm {
                     for lane in lanes(mask) {
                         let av = operand(&warp, block, launch, lane, a)?;
                         let bv = operand(&warp, block, launch, lane, b)?;
-                        results[lane] = eval_cmp(cmp, ty, av, bv);
+                        results[lane] = hurt(lane, eval_cmp(cmp, ty, av, bv));
                     }
                     write_lanes(&mut warp, mask, dst, &results);
                     writeback = Some((
@@ -386,7 +415,7 @@ impl Sm {
                         let cv = operand(&warp, block, launch, lane, cond)?;
                         let tv = operand(&warp, block, launch, lane, if_true)?;
                         let fv = operand(&warp, block, launch, lane, if_false)?;
-                        results[lane] = eval_sel(cv, tv, fv);
+                        results[lane] = hurt(lane, eval_sel(cv, tv, fv));
                     }
                     write_lanes(&mut warp, mask, dst, &results);
                     writeback = Some((
@@ -401,7 +430,7 @@ impl Sm {
                 Instruction::Sfu { op, dst, a } => {
                     for lane in lanes(mask) {
                         let av = operand(&warp, block, launch, lane, a)?;
-                        results[lane] = eval_sfu(op, av);
+                        results[lane] = hurt(lane, eval_sfu(op, av));
                     }
                     write_lanes(&mut warp, mask, dst, &results);
                     writeback = Some((
@@ -422,7 +451,7 @@ impl Sm {
                     let mut loaded = [0u32; WARP_SIZE];
                     for lane in lanes(mask) {
                         let base = operand(&warp, block, launch, lane, addr)?;
-                        let a = base.wrapping_add(offset as u32);
+                        let a = hurt(lane, base.wrapping_add(offset as u32));
                         results[lane] = a; // DMR verifies the address computation
                         loaded[lane] = match space {
                             Space::Global => global.read(a)?,
@@ -449,7 +478,7 @@ impl Sm {
                 } => {
                     for lane in lanes(mask) {
                         let base = operand(&warp, block, launch, lane, addr)?;
-                        let a = base.wrapping_add(offset as u32);
+                        let a = hurt(lane, base.wrapping_add(offset as u32));
                         results[lane] = a;
                         let v = operand(&warp, block, launch, lane, src)?;
                         match space {
@@ -468,7 +497,7 @@ impl Sm {
                     let mut taken = 0u32;
                     for lane in lanes(mask) {
                         let p = warp.read_reg(pred, lane) != 0;
-                        let t = p ^ negate;
+                        let t = hurt(lane, (p ^ negate) as u32) != 0;
                         results[lane] = t as u32;
                         if t {
                             taken |= 1 << lane;

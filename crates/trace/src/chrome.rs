@@ -70,6 +70,8 @@ fn slice_name(ev: &TraceEvent) -> (String, u64) {
         TraceEvent::Idle { .. } => ("idle".into(), 0),
         TraceEvent::SmDone { drained, .. } => (format!("done drain={drained}"), 0),
         TraceEvent::Error { warp, lane, .. } => (format!("error lane {lane}"), *warp),
+        TraceEvent::FaultInjected { trial, kind, .. } => (format!("fault {kind} t{trial}"), 0),
+        TraceEvent::TrialOutcome { trial, outcome } => (format!("trial {trial} {outcome}"), 0),
     }
 }
 

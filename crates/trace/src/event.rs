@@ -195,6 +195,29 @@ pub enum TraceEvent {
         /// Lane that executed the original computation.
         lane: u32,
     },
+    /// A fault-injection campaign planted a fault for one trial (emitted
+    /// before the trial's launch, outside any launch's cycle domain).
+    FaultInjected {
+        /// SM hosting the fault site.
+        sm: u32,
+        /// Campaign-global trial index.
+        trial: u32,
+        /// Fault-site wire name (e.g. `"lane_transient"`, `"comparator"`).
+        kind: String,
+        /// Physical lane of a lane fault; `u32::MAX` for checker-internal
+        /// sites, which have no lane.
+        lane: u32,
+        /// Strike cycle of a transient; `0` for permanent faults.
+        cycle: u64,
+    },
+    /// Outcome classification of one campaign trial against the golden
+    /// run (emitted after the trial's launch completes).
+    TrialOutcome {
+        /// Campaign-global trial index.
+        trial: u32,
+        /// Outcome wire name: `"masked"`, `"detected"`, `"sdc"`, `"hang"`.
+        outcome: String,
+    },
 }
 
 impl TraceEvent {
@@ -210,13 +233,17 @@ impl TraceEvent {
             TraceEvent::Idle { .. } => "idle",
             TraceEvent::SmDone { .. } => "done",
             TraceEvent::Error { .. } => "error",
+            TraceEvent::FaultInjected { .. } => "fault",
+            TraceEvent::TrialOutcome { .. } => "trial",
         }
     }
 
-    /// The SM the event belongs to (`None` for launch boundaries).
+    /// The SM the event belongs to (`None` for launch boundaries and
+    /// campaign-level trial events).
     pub fn sm(&self) -> Option<u32> {
         match self {
-            TraceEvent::LaunchBegin { .. } => None,
+            TraceEvent::LaunchBegin { .. } | TraceEvent::TrialOutcome { .. } => None,
+            TraceEvent::FaultInjected { sm, .. } => Some(*sm),
             TraceEvent::Issue { sm, .. }
             | TraceEvent::IntraPair { sm, .. }
             | TraceEvent::Enqueue { sm, .. }
@@ -228,10 +255,14 @@ impl TraceEvent {
         }
     }
 
-    /// The event's cycle (`None` for launch boundaries).
+    /// The event's cycle (`None` for launch boundaries and campaign-level
+    /// trial events — a `FaultInjected`'s `cycle` field is the planned
+    /// strike cycle *inside* the upcoming launch, not a stream position).
     pub fn cycle(&self) -> Option<u64> {
         match self {
-            TraceEvent::LaunchBegin { .. } => None,
+            TraceEvent::LaunchBegin { .. }
+            | TraceEvent::FaultInjected { .. }
+            | TraceEvent::TrialOutcome { .. } => None,
             TraceEvent::Issue { cycle, .. }
             | TraceEvent::IntraPair { cycle, .. }
             | TraceEvent::Enqueue { cycle, .. }
@@ -274,5 +305,26 @@ mod tests {
         let l = TraceEvent::LaunchBegin { index: 0 };
         assert_eq!(l.sm(), None);
         assert_eq!(l.cycle(), None);
+    }
+
+    #[test]
+    fn campaign_events_sit_outside_the_cycle_domain() {
+        let f = TraceEvent::FaultInjected {
+            sm: 1,
+            trial: 7,
+            kind: "lane_transient".into(),
+            lane: 9,
+            cycle: 120,
+        };
+        assert_eq!(f.tag(), "fault");
+        assert_eq!(f.sm(), Some(1));
+        assert_eq!(f.cycle(), None, "strike cycle is not a stream position");
+        let t = TraceEvent::TrialOutcome {
+            trial: 7,
+            outcome: "sdc".into(),
+        };
+        assert_eq!(t.tag(), "trial");
+        assert_eq!(t.sm(), None);
+        assert_eq!(t.cycle(), None);
     }
 }

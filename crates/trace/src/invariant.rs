@@ -185,7 +185,11 @@ impl TraceSink for InvariantSink {
                     }
                 }
             }
-            TraceEvent::IntraPair { .. } | TraceEvent::Stall { .. } | TraceEvent::Error { .. } => {}
+            TraceEvent::IntraPair { .. }
+            | TraceEvent::Stall { .. }
+            | TraceEvent::Error { .. }
+            | TraceEvent::FaultInjected { .. }
+            | TraceEvent::TrialOutcome { .. } => {}
             TraceEvent::Enqueue {
                 sm,
                 cycle,

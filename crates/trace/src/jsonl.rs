@@ -125,6 +125,23 @@ pub fn to_line(ev: &TraceEvent) -> String {
             w.num("warp", *warp);
             w.num("lane", u64::from(*lane));
         }
+        TraceEvent::FaultInjected {
+            sm,
+            trial,
+            kind,
+            lane,
+            cycle,
+        } => {
+            w.num("sm", u64::from(*sm));
+            w.num("trial", u64::from(*trial));
+            w.str("kind", kind);
+            w.num("lane", u64::from(*lane));
+            w.num("cycle", *cycle);
+        }
+        TraceEvent::TrialOutcome { trial, outcome } => {
+            w.num("trial", u64::from(*trial));
+            w.str("outcome", outcome);
+        }
     }
     w.finish()
 }
@@ -188,16 +205,28 @@ impl std::error::Error for ParseError {}
 
 /// One parsed scalar from a flat JSON object.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Scalar {
+pub enum Scalar {
+    /// An unsigned integer.
     Num(u64),
+    /// A string without escapes.
     Str(String),
+    /// `true` / `false`.
     Bool(bool),
+    /// `null`.
     Null,
 }
 
 /// Parse a flat `{"key":scalar,...}` object. Scalars: unsigned integers,
 /// strings without escapes, `true`/`false`, `null`.
-fn parse_flat(line: &str) -> Result<Vec<(String, Scalar)>, ParseError> {
+///
+/// Public because other flat-JSONL formats in the workspace (the campaign
+/// checkpoint journal) reuse this parser rather than growing their own.
+///
+/// # Errors
+///
+/// [`ParseError::Malformed`] when the line is not a flat object of those
+/// scalars.
+pub fn parse_flat(line: &str) -> Result<Vec<(String, Scalar)>, ParseError> {
     let s = line.trim();
     let body = s
         .strip_prefix('{')
@@ -250,37 +279,73 @@ fn parse_flat(line: &str) -> Result<Vec<(String, Scalar)>, ParseError> {
     Ok(fields)
 }
 
-struct FieldMap(Vec<(String, Scalar)>);
+/// Typed accessors over the fields of one parsed flat object.
+pub struct FieldMap(Vec<(String, Scalar)>);
 
 impl FieldMap {
-    fn get(&self, key: &'static str) -> Result<&Scalar, ParseError> {
+    /// Wrap the output of [`parse_flat`].
+    pub fn new(fields: Vec<(String, Scalar)>) -> Self {
+        FieldMap(fields)
+    }
+
+    /// Look up a field.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::MissingField`] when absent.
+    pub fn get(&self, key: &'static str) -> Result<&Scalar, ParseError> {
         self.0
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v)
             .ok_or(ParseError::MissingField(key))
     }
-    fn num(&self, key: &'static str) -> Result<u64, ParseError> {
+
+    /// A `u64` field.
+    ///
+    /// # Errors
+    ///
+    /// Missing field or non-numeric value.
+    pub fn num(&self, key: &'static str) -> Result<u64, ParseError> {
         match self.get(key)? {
             Scalar::Num(n) => Ok(*n),
             _ => Err(ParseError::BadValue(key)),
         }
     }
-    fn num32(&self, key: &'static str) -> Result<u32, ParseError> {
+
+    /// A `u32` field.
+    ///
+    /// # Errors
+    ///
+    /// Missing field, non-numeric value, or overflow.
+    pub fn num32(&self, key: &'static str) -> Result<u32, ParseError> {
         u32::try_from(self.num(key)?).map_err(|_| ParseError::BadValue(key))
     }
-    fn str(&self, key: &'static str) -> Result<&str, ParseError> {
+
+    /// A string field.
+    ///
+    /// # Errors
+    ///
+    /// Missing field or non-string value.
+    pub fn str(&self, key: &'static str) -> Result<&str, ParseError> {
         match self.get(key)? {
             Scalar::Str(s) => Ok(s),
             _ => Err(ParseError::BadValue(key)),
         }
     }
-    fn bool(&self, key: &'static str) -> Result<bool, ParseError> {
+
+    /// A boolean field.
+    ///
+    /// # Errors
+    ///
+    /// Missing field or non-boolean value.
+    pub fn bool(&self, key: &'static str) -> Result<bool, ParseError> {
         match self.get(key)? {
             Scalar::Bool(b) => Ok(*b),
             _ => Err(ParseError::BadValue(key)),
         }
     }
+
     fn reg(&self, key: &'static str) -> Result<Option<Reg>, ParseError> {
         match self.get(key)? {
             Scalar::Null => Ok(None),
@@ -361,6 +426,17 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
             cycle: f.num("cycle")?,
             warp: f.num("warp")?,
             lane: f.num32("lane")?,
+        },
+        "fault" => TraceEvent::FaultInjected {
+            sm: f.num32("sm")?,
+            trial: f.num32("trial")?,
+            kind: f.str("kind")?.to_string(),
+            lane: f.num32("lane")?,
+            cycle: f.num("cycle")?,
+        },
+        "trial" => TraceEvent::TrialOutcome {
+            trial: f.num32("trial")?,
+            outcome: f.str("outcome")?.to_string(),
         },
         _ => return Err(ParseError::UnknownTag(tag)),
     };
@@ -515,6 +591,24 @@ mod tests {
                 cycle: 9,
                 warp: 1,
                 lane: 17,
+            },
+            TraceEvent::FaultInjected {
+                sm: 1,
+                trial: 12,
+                kind: "lane_stuck".into(),
+                lane: 21,
+                cycle: 0,
+            },
+            TraceEvent::FaultInjected {
+                sm: 0,
+                trial: 13,
+                kind: "comparator".into(),
+                lane: u32::MAX,
+                cycle: 88,
+            },
+            TraceEvent::TrialOutcome {
+                trial: 13,
+                outcome: "masked".into(),
             },
         ]
     }

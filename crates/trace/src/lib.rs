@@ -52,6 +52,6 @@ pub use chrome::ChromeSink;
 pub use event::{TraceEvent, VerifyKind};
 pub use handle::TraceHandle;
 pub use invariant::InvariantSink;
-pub use jsonl::{JsonlSink, ParseError};
+pub use jsonl::{parse_flat, FieldMap, JsonlSink, ParseError, Scalar};
 pub use metrics::{bucket_of, MetricsSink};
 pub use sink::{CollectSink, Fanout, NullSink, TraceSink};

@@ -171,6 +171,8 @@ impl TraceSink for MetricsSink {
             TraceEvent::Error { .. } => {
                 self.errors_detected += 1;
             }
+            // Campaign-level trial bookkeeping; no pipeline metric.
+            TraceEvent::FaultInjected { .. } | TraceEvent::TrialOutcome { .. } => {}
         }
     }
 }

@@ -26,6 +26,11 @@ trace bench out="trace.jsonl":
 invariants:
     cargo run -q -p warped-cli -- invariants --check
 
+# Resilience smoke: a forced-panic chunk and a checkpoint resume must
+# both reproduce an undisturbed campaign byte-for-byte (docs/resilience.md).
+campaign-smoke:
+    ./scripts/campaign_smoke.sh
+
 # Throughput harness: writes BENCH_simulator.json at the repo root.
 bench:
     ./scripts/bench.sh

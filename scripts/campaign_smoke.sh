@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Campaign resilience smoke: a tiny resilient campaign must survive a
+# forced-panic chunk (retried transparently, same bytes) and resume
+# from its checkpoint journal byte-identically. Exercises the retry,
+# checkpoint, and resume paths end to end through the real CLI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run() {
+  cargo run -q -p warped-cli -- campaign SCAN --site comparator \
+    --trials 4 --seed 7 --json "$@"
+}
+
+run > "$tmp/base.json"
+
+# Chunk 0's first two attempts panic (inside the default retry budget);
+# the campaign must recover and produce identical bytes. The panic
+# backtraces on stderr are the point, not a problem.
+run --checkpoint "$tmp/camp.jsonl" --fail-chunk 0:2 > "$tmp/panic.json"
+cmp "$tmp/base.json" "$tmp/panic.json"
+
+# Resume replays the finished chunk from the journal — still identical,
+# at a different worker count.
+run --checkpoint "$tmp/camp.jsonl" --resume --threads 1 > "$tmp/resume.json"
+cmp "$tmp/base.json" "$tmp/resume.json"
+
+echo "campaign smoke: clean"

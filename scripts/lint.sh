@@ -13,4 +13,8 @@ cargo fmt --check
 # Trace invariant suite: Algorithm-1 invariants I1-I5 plus the
 # trace-then-replay report check, over every benchmark at Tiny scale.
 cargo run -q -p warped-cli -- invariants --check
+
+# Campaign resilience smoke: forced-panic retry and checkpoint resume
+# must reproduce an undisturbed campaign byte-for-byte.
+./scripts/campaign_smoke.sh
 echo "lint: clean"

@@ -6,6 +6,9 @@ use warped_core::{DmrConfig, WarpedDmr};
 use warped_faults::campaign::{
     stuck_at_campaign_with, transient_campaign_with, CampaignOptions, Protection,
 };
+use warped_faults::{
+    resilient_campaign, FaultSiteClass, ResilientOptions, ResilientReport, TrialOutcome,
+};
 use warped_kernels::{Benchmark, WorkloadSize};
 use warped_stats::Table;
 
@@ -99,4 +102,63 @@ pub fn run(
         ]);
     }
     Ok((rows, table))
+}
+
+/// One resilient campaign: `trials` faults of the given site class on
+/// one benchmark, classified against a golden run into the full
+/// masked / detected / SDC / hang taxonomy. Injection runs at `Tiny`
+/// size, like [`run`] (each trial is two full simulations).
+///
+/// # Errors
+///
+/// Propagates workload errors and [`warped_faults::CampaignError`]
+/// (broken golden run, unusable checkpoint journal). Chunks that
+/// exhaust their retry budget are *not* errors — they surface as
+/// `skipped` trials and widened intervals in the report.
+pub fn resilient(
+    cfg: &ExperimentConfig,
+    bench: Benchmark,
+    class: FaultSiteClass,
+    trials: u32,
+    seed: u64,
+    opts: &ResilientOptions,
+) -> Result<ResilientReport, ExperimentError> {
+    let w = bench.build(WorkloadSize::Tiny)?;
+    let dmr = DmrConfig::default();
+    Ok(resilient_campaign(
+        &w, &cfg.gpu, &dmr, class, trials, seed, opts,
+    )?)
+}
+
+/// Render resilient-campaign reports as one table row per campaign,
+/// with a 95% Wilson interval on every class rate (widened by skipped
+/// trials when a chunk was dropped after exhausting its retries).
+pub fn taxonomy_table(reports: &[ResilientReport]) -> Table {
+    let mut table = Table::new(vec![
+        "benchmark",
+        "fault site",
+        "trials",
+        "skipped",
+        "masked (%)",
+        "detected (%)",
+        "SDC (%)",
+        "hang (%)",
+    ]);
+    for r in reports {
+        let cell = |class: TrialOutcome| {
+            let (lo, hi) = r.result.interval_pct(class);
+            format!("{:.1} [{lo:.1}, {hi:.1}]", r.result.rate_pct(class))
+        };
+        table.row(vec![
+            r.bench.clone(),
+            r.class.to_string(),
+            r.result.trials.to_string(),
+            r.result.skipped.to_string(),
+            cell(TrialOutcome::Masked),
+            cell(TrialOutcome::Detected),
+            cell(TrialOutcome::Sdc),
+            cell(TrialOutcome::Hang),
+        ]);
+    }
+    table
 }

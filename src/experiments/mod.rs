@@ -37,6 +37,19 @@ pub enum ExperimentError {
     /// A trace invariant was violated or a trace replay diverged
     /// (see [`invariants`]).
     Invariant(String),
+    /// The harness was invoked wrongly: unknown command or benchmark,
+    /// malformed flag value, or an inconsistent flag combination.
+    Usage(String),
+    /// An output artifact could not be written.
+    Io {
+        /// What the harness was writing.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A resilient fault campaign could not run at all (broken golden
+    /// run or unusable checkpoint journal).
+    Campaign(warped_faults::CampaignError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -46,6 +59,9 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Sim(e) => write!(f, "simulation: {e}"),
             ExperimentError::Check(e) => write!(f, "result validation: {e}"),
             ExperimentError::Invariant(msg) => write!(f, "trace invariant: {msg}"),
+            ExperimentError::Usage(msg) => write!(f, "{msg}"),
+            ExperimentError::Io { path, source } => write!(f, "writing {path}: {source}"),
+            ExperimentError::Campaign(e) => write!(f, "fault campaign: {e}"),
         }
     }
 }
@@ -67,6 +83,12 @@ impl From<SimError> for ExperimentError {
 impl From<CheckError> for ExperimentError {
     fn from(e: CheckError) -> Self {
         ExperimentError::Check(e)
+    }
+}
+
+impl From<warped_faults::CampaignError> for ExperimentError {
+    fn from(e: warped_faults::CampaignError) -> Self {
+        ExperimentError::Campaign(e)
     }
 }
 

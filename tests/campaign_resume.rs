@@ -1,0 +1,169 @@
+//! Crash-safe campaign orchestration, end to end: an interrupted and
+//! resumed campaign is bit-identical to an uninterrupted one at any
+//! worker count, panicking chunks retry transparently, and exhausted
+//! retries degrade to a partial result instead of an error.
+
+use std::path::PathBuf;
+use warped::dmr::DmrConfig;
+use warped::faults::{
+    resilient_campaign, FaultSiteClass, ForcedPanic, ResilientOptions, ResilientReport,
+    TrialOutcome,
+};
+use warped::kernels::{Benchmark, WorkloadSize};
+use warped::runner::RetryPolicy;
+use warped::sim::GpuConfig;
+
+const TRIALS: u32 = 8;
+const SEED: u64 = 41;
+
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("warped_resume_{}_{tag}.jsonl", std::process::id()))
+}
+
+/// Small, fast campaign geometry: 4 chunks of 2 trials, no backoff
+/// sleeps between forced-panic retries.
+fn opts(threads: usize) -> ResilientOptions {
+    ResilientOptions {
+        sampler_capacity: 256,
+        chunk_trials: 2,
+        threads,
+        retry: RetryPolicy {
+            retries: 2,
+            backoff_ms: 0,
+            backoff_cap_ms: 0,
+        },
+        ..ResilientOptions::default()
+    }
+}
+
+fn campaign(o: &ResilientOptions) -> ResilientReport {
+    let w = Benchmark::Scan.build(WorkloadSize::Tiny).unwrap();
+    resilient_campaign(
+        &w,
+        &GpuConfig::small(),
+        &DmrConfig::default(),
+        FaultSiteClass::LaneTransient,
+        TRIALS,
+        SEED,
+        o,
+    )
+    .unwrap()
+}
+
+#[test]
+fn interrupted_campaign_resumes_bit_identically_at_any_thread_count() {
+    let baseline = campaign(&opts(2));
+    let path = temp_journal("truncate");
+
+    let mut ckpt = opts(2);
+    ckpt.checkpoint = Some(path.clone());
+    let full = campaign(&ckpt);
+    assert_eq!(full.to_json(), baseline.to_json());
+
+    // Simulate a crash mid-campaign: drop the last two of four chunk
+    // records, keeping the header (records land in completion order,
+    // so which chunks survive is arbitrary — resume keys on index).
+    let text = std::fs::read_to_string(&path).unwrap();
+    let keep: Vec<&str> = text.lines().take(3).collect();
+    std::fs::write(&path, keep.join("\n") + "\n").unwrap();
+
+    for threads in [1, 2, 4] {
+        let mut o = opts(threads);
+        o.checkpoint = Some(path.clone());
+        o.resume = true;
+        let resumed = campaign(&o);
+        assert_eq!(
+            resumed.to_json(),
+            baseline.to_json(),
+            "resume at {threads} thread(s) must be bit-identical"
+        );
+        assert!(resumed.resumed_chunks >= 2, "finished chunks replay");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn panicking_chunk_retries_transparently_within_budget() {
+    let baseline = campaign(&opts(2));
+    let mut o = opts(2);
+    o.forced_panic = Some(ForcedPanic {
+        chunk: 1,
+        attempts: 2,
+    });
+    let recovered = campaign(&o);
+    assert_eq!(recovered.to_json(), baseline.to_json());
+    assert_eq!(recovered.retries_used, 2, "both panics cost a retry");
+}
+
+#[test]
+fn exhausted_retries_degrade_to_a_partial_widened_result() {
+    let baseline = campaign(&opts(2));
+    let mut o = opts(2);
+    o.forced_panic = Some(ForcedPanic {
+        chunk: 1,
+        attempts: u32::MAX,
+    });
+    let degraded = campaign(&o);
+    assert_eq!(degraded.failed_chunks, vec![1]);
+    assert_eq!(degraded.result.planned, TRIALS);
+    assert_eq!(degraded.result.skipped, 2);
+    assert_eq!(degraded.result.trials, TRIALS - 2);
+    // Skipped trials widen every class interval on the high side: they
+    // could have landed in any class.
+    for class in TrialOutcome::ALL {
+        let (_, base_hi) = baseline.result.interval_pct(class);
+        let (_, hi) = degraded.result.interval_pct(class);
+        assert!(
+            hi >= base_hi || (hi - base_hi).abs() < 1e-9,
+            "{class}: degraded hi {hi} vs baseline {base_hi}"
+        );
+    }
+}
+
+#[test]
+fn resume_after_a_skipped_chunk_completes_the_campaign() {
+    let baseline = campaign(&opts(2));
+    let path = temp_journal("failed");
+
+    let mut o = opts(1);
+    o.checkpoint = Some(path.clone());
+    o.forced_panic = Some(ForcedPanic {
+        chunk: 1,
+        attempts: u32::MAX,
+    });
+    let degraded = campaign(&o);
+    assert_eq!(degraded.failed_chunks, vec![1]);
+
+    // The journal holds Done records for chunks 0, 2, 3 and a Failed
+    // record for 1; resume re-runs only the failed chunk (the forced
+    // panic is gone — the "transient" orchestration fault cleared).
+    let mut o2 = opts(2);
+    o2.checkpoint = Some(path.clone());
+    o2.resume = true;
+    let healed = campaign(&o2);
+    assert_eq!(healed.to_json(), baseline.to_json());
+    assert!(healed.failed_chunks.is_empty());
+    assert_eq!(healed.resumed_chunks, 3, "three chunks replay from disk");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn taxonomy_counts_partition_the_planned_trials() {
+    let w = Benchmark::MatrixMul.build(WorkloadSize::Tiny).unwrap();
+    for class in FaultSiteClass::ALL {
+        let r = resilient_campaign(
+            &w,
+            &GpuConfig::small(),
+            &DmrConfig::default(),
+            class,
+            4,
+            SEED,
+            &opts(2),
+        )
+        .unwrap();
+        let sum: u32 = TrialOutcome::ALL.iter().map(|&c| r.result.count(c)).sum();
+        assert_eq!(sum, 4, "{class}: every trial lands in exactly one class");
+        assert_eq!(r.result.trials, 4);
+        assert_eq!(r.result.skipped, 0);
+    }
+}
