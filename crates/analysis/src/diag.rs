@@ -73,6 +73,19 @@ impl StructuralLint {
             StructuralLint::FallsOffEnd { .. } => "falls-off-end",
         }
     }
+
+    /// Inclusive pc span `(lo, hi)` the lint refers to (JSON output).
+    /// Single-pc lints report `lo == hi`.
+    pub fn span(&self) -> (Pc, Pc) {
+        match *self {
+            StructuralLint::Unreachable { start, .. } => (start, start),
+            StructuralLint::ReconvNotPostDominator { branch, reconv } => {
+                (Pc(branch.0.min(reconv.0)), Pc(branch.0.max(reconv.0)))
+            }
+            StructuralLint::InfiniteLoop { start, .. } => (start, start),
+            StructuralLint::FallsOffEnd { last, .. } => (last, last),
+        }
+    }
 }
 
 /// A suspicious dataflow pattern (executable, but likely a kernel bug).
@@ -114,6 +127,16 @@ impl DataflowWarning {
         match self {
             DataflowWarning::MaybeUninitRead { .. } => "maybe-uninit-read",
             DataflowWarning::DeadWrite { .. } => "dead-write",
+        }
+    }
+
+    /// Inclusive pc span `(lo, hi)` the warning refers to (JSON output).
+    /// Both current warnings point at a single instruction.
+    pub fn span(&self) -> (Pc, Pc) {
+        match *self {
+            DataflowWarning::MaybeUninitRead { pc, .. } | DataflowWarning::DeadWrite { pc, .. } => {
+                (pc, pc)
+            }
         }
     }
 }

@@ -17,6 +17,13 @@
 //!   and, for straight-line kernels, reproduces the simulator's
 //!   ReplayQ stall counters exactly; [`block_pressure`] bounds the
 //!   per-block queue pressure for kernels with control flow.
+//! * **Certification** — [`model_check`] explores every Replay Checker
+//!   behaviour up to a depth bound differentially against the real
+//!   implementation (invariants I1–I5, divergences reported as
+//!   minimized counterexamples), and [`certify_coverage`] turns an
+//!   abstract interpretation of active masks ([`analyze_masks`]) into a
+//!   per-kernel static coverage lower bound (`warped certify` on the
+//!   CLI, `docs/certification.md` for the semantics).
 //!
 //! [`analyze`] bundles all of it into one [`Analysis`] with text and
 //! JSON rendering (`warped analyze <bench>` on the CLI).
@@ -38,18 +45,26 @@
 
 mod bitset;
 pub mod cfg;
+pub mod coverage;
 pub mod dataflow;
 pub mod diag;
+pub mod mask;
+pub mod modelcheck;
 pub mod predict;
 pub mod report;
 
 pub use cfg::{BasicBlock, Cfg, Terminator};
+pub use coverage::{certify_coverage, warp_shapes, CoverageCert, InstrClass, InstrCoverage};
 pub use dataflow::{dead_writes, def_use, liveness, maybe_uninit_reads, Def, DefUse, Liveness};
 pub use diag::{DataflowWarning, StructuralLint};
+pub use mask::{analyze_masks, AbstractMask, MaskFlow, MaskFlowConfig};
+pub use modelcheck::{
+    model_check, Counterexample, ModelCheckConfig, ModelCheckReport, DEFAULT_DEPTH,
+};
 pub use predict::{
     block_pressure, is_straight_line, predict_exact, BlockPressure, ExactPrediction, PredictConfig,
 };
-pub use report::Analysis;
+pub use report::{Analysis, SCHEMA_VERSION};
 
 use warped_isa::Kernel;
 

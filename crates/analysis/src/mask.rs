@@ -1,0 +1,342 @@
+//! Abstract interpretation of active masks over the CFG.
+//!
+//! Mirrors the simulator's PDOM reconvergence stack
+//! (`warped_sim::SimtStack`) over an abstract domain: each lane is
+//! *active*, *inactive*, or *unknown*, encoded as a pair of bitmaps
+//! `(must, may)` with `must ⊆ may` — lanes in `must` are active in every
+//! concrete execution reaching this point, lanes outside `may` are active
+//! in none. Branch predicates are unknown, so a branch is explored three
+//! ways: uniformly taken and uniformly fallen-through (mask preserved
+//! exactly — the case that keeps `must` full through uniform control
+//! flow), and divergent (both sides demoted to `must = 0`, the
+//! continuation keeping the full pair at the reconvergence point).
+//! `exit` clears `may`-lanes of the popped entry from `must` and
+//! `must`-lanes from `may` of every remaining entry, exactly dual to the
+//! concrete mask subtraction.
+//!
+//! The result is, per static instruction, the set of abstract masks it
+//! can execute under — every concrete active mask of every execution is
+//! compatible with (at least) one recorded abstract mask. `coverage.rs`
+//! turns that into a static DMR coverage lower bound.
+//!
+//! Exploration is a memoized worklist over abstract stack states. Two
+//! safety valves keep it finite and fast: adjacent identical entries are
+//! collapsed (sound: both denote subsets of the same `may`, and popping
+//! or exit-clearing twice is idempotent on the abstraction), and runs
+//! exceeding the state or stack-depth budget fall back to all-unknown
+//! masks (`must = 0`), which only weakens the bound.
+
+use crate::cfg::{Cfg, Terminator};
+use std::collections::{HashSet, VecDeque};
+use warped_isa::{Kernel, Pc};
+
+/// A per-lane three-valued activity mask: `must ⊆ m ⊆ may` for every
+/// compatible concrete mask `m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AbstractMask {
+    /// Lanes active in every execution reaching this point.
+    pub must: u32,
+    /// Lanes active in at least one execution reaching this point.
+    pub may: u32,
+}
+
+impl AbstractMask {
+    /// The exact mask `m` (no uncertainty).
+    pub fn exact(m: u32) -> Self {
+        AbstractMask { must: m, may: m }
+    }
+
+    /// Whether `m` is a possible concretization.
+    pub fn admits(&self, m: u32) -> bool {
+        self.must & !m == 0 && m & !self.may == 0
+    }
+
+    /// Least upper bound.
+    pub fn join(&self, other: &AbstractMask) -> AbstractMask {
+        AbstractMask {
+            must: self.must & other.must,
+            may: self.may | other.may,
+        }
+    }
+}
+
+/// Exploration budgets.
+#[derive(Debug, Clone)]
+pub struct MaskFlowConfig {
+    /// Distinct abstract stack states before giving up.
+    pub max_states: usize,
+    /// Abstract stack depth before giving up.
+    pub max_stack: usize,
+    /// Distinct masks recorded per instruction before joining them into
+    /// one (sound, loses precision).
+    pub max_masks_per_pc: usize,
+}
+
+impl Default for MaskFlowConfig {
+    fn default() -> Self {
+        MaskFlowConfig {
+            max_states: 200_000,
+            max_stack: 64,
+            max_masks_per_pc: 64,
+        }
+    }
+}
+
+/// Result of the abstract interpretation for one warp shape.
+#[derive(Debug, Clone)]
+pub struct MaskFlow {
+    /// Per instruction, the abstract masks it may execute under. Empty
+    /// for instructions no abstract execution reaches.
+    pub per_pc: Vec<Vec<AbstractMask>>,
+    /// Distinct abstract stack states explored.
+    pub states: u64,
+    /// True if a budget was hit and the result was widened to
+    /// all-unknown (`must = 0`) for every instruction.
+    pub overflowed: bool,
+}
+
+/// One abstract reconvergence-stack entry. `reconv` is the pc where the
+/// entry merges into the one below (`u32::MAX` for the root).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Entry {
+    block: u32,
+    must: u32,
+    may: u32,
+    reconv: u32,
+}
+
+const NO_RECONV: u32 = u32::MAX;
+
+type Stack = Vec<Entry>;
+
+/// Pop entries sitting at their reconvergence point (the abstract mirror
+/// of `SimtStack::merge_converged` — the continuation below already
+/// carries the merged mask), then collapse adjacent identical entries.
+fn normalize(stack: &mut Stack, cfg: &Cfg) {
+    while let Some(top) = stack.last() {
+        if top.reconv == NO_RECONV || cfg.blocks()[top.block as usize].start as u32 != top.reconv {
+            break;
+        }
+        stack.pop();
+    }
+    stack.dedup();
+}
+
+/// Run the abstract interpreter for one initial warp shape (the set of
+/// populated lanes; `must = may = shape` at pc 0).
+pub fn analyze_masks(kernel: &Kernel, cfg: &Cfg, shape: u32, config: &MaskFlowConfig) -> MaskFlow {
+    let n = kernel.code().len();
+    let mut flow = MaskFlow {
+        per_pc: vec![Vec::new(); n],
+        states: 0,
+        overflowed: false,
+    };
+    if shape == 0 || n == 0 {
+        return flow;
+    }
+
+    let mut seen: HashSet<Stack> = HashSet::new();
+    let mut work: VecDeque<Stack> = VecDeque::new();
+    let mut root = vec![Entry {
+        block: cfg.block_of(Pc(0)) as u32,
+        must: shape,
+        may: shape,
+        reconv: NO_RECONV,
+    }];
+    normalize(&mut root, cfg);
+    seen.insert(root.clone());
+    work.push_back(root);
+
+    'explore: while let Some(stack) = work.pop_front() {
+        flow.states += 1;
+        let Some(&top) = stack.last() else { continue };
+        let block = &cfg.blocks()[top.block as usize];
+        let mask = AbstractMask {
+            must: top.must,
+            may: top.may,
+        };
+        for pc in block.start..block.end {
+            record(&mut flow.per_pc[pc], mask, config.max_masks_per_pc);
+        }
+
+        let mut succs: Vec<Stack> = Vec::new();
+        match block.terminator {
+            Terminator::Exit | Terminator::FallsOff => {
+                // The top entry's threads retire; scrub them from the
+                // rest of the stack.
+                let mut s = stack.clone();
+                s.pop();
+                for e in &mut s {
+                    e.must &= !top.may;
+                    e.may &= !top.must;
+                }
+                s.retain(|e| e.may != 0);
+                succs.push(s);
+            }
+            Terminator::Jump { target } => {
+                let mut s = stack.clone();
+                s.last_mut().expect("top exists").block = cfg.block_of(target) as u32;
+                succs.push(s);
+            }
+            Terminator::FallThrough => {
+                let mut s = stack.clone();
+                s.last_mut().expect("top exists").block = cfg.block_of(Pc(block.end as u32)) as u32;
+                succs.push(s);
+            }
+            Terminator::Branch { target, reconv } => {
+                let fall_ok = block.end < n;
+                // Uniformly taken: mask preserved exactly.
+                let mut taken = stack.clone();
+                taken.last_mut().expect("top exists").block = cfg.block_of(target) as u32;
+                succs.push(taken);
+                // Uniformly fallen through: mask preserved exactly.
+                if fall_ok {
+                    let mut fall = stack.clone();
+                    fall.last_mut().expect("top exists").block =
+                        cfg.block_of(Pc(block.end as u32)) as u32;
+                    succs.push(fall);
+                }
+                // Divergent: continuation at the reconvergence point
+                // keeps the pair; both sides lose all certainty.
+                if fall_ok && top.may.count_ones() >= 2 {
+                    let mut div = stack.clone();
+                    let cont = div.last_mut().expect("top exists");
+                    cont.block = cfg.block_of(reconv) as u32;
+                    let side = |b: usize| Entry {
+                        block: b as u32,
+                        must: 0,
+                        may: top.may,
+                        reconv: reconv.0,
+                    };
+                    div.push(side(cfg.block_of(target)));
+                    div.push(side(cfg.block_of(Pc(block.end as u32))));
+                    succs.push(div);
+                }
+            }
+        }
+
+        for mut s in succs {
+            normalize(&mut s, cfg);
+            if s.len() > config.max_stack || seen.len() >= config.max_states {
+                flow.overflowed = true;
+                break 'explore;
+            }
+            if seen.insert(s.clone()) {
+                work.push_back(s);
+            }
+        }
+    }
+
+    if flow.overflowed {
+        // Widen: every instruction may run under any sub-mask of the
+        // shape. Sound, maximally imprecise.
+        for masks in &mut flow.per_pc {
+            *masks = vec![AbstractMask {
+                must: 0,
+                may: shape,
+            }];
+        }
+    }
+    flow
+}
+
+fn record(masks: &mut Vec<AbstractMask>, m: AbstractMask, cap: usize) {
+    if masks.contains(&m) {
+        return;
+    }
+    if masks.len() < cap {
+        masks.push(m);
+    } else {
+        // Budget hit: join everything into a single summary mask.
+        let joined = masks.iter().fold(m, |a, b| a.join(b));
+        masks.clear();
+        masks.push(joined);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_isa::{AluBinOp, Instruction, KernelBuilder, Operand, Reg};
+
+    fn straight_line() -> Kernel {
+        let mut b = KernelBuilder::new("straight");
+        b.push(Instruction::Bin {
+            op: AluBinOp::IAdd,
+            dst: Reg(0),
+            a: Operand::Imm(1),
+            b: Operand::Imm(2),
+        });
+        b.push(Instruction::Exit);
+        b.build().expect("valid kernel")
+    }
+
+    #[test]
+    fn straight_line_keeps_exact_mask() {
+        let k = straight_line();
+        let cfg = Cfg::build(&k);
+        let flow = analyze_masks(&k, &cfg, u32::MAX, &MaskFlowConfig::default());
+        assert!(!flow.overflowed);
+        assert_eq!(flow.per_pc[0], vec![AbstractMask::exact(u32::MAX)]);
+    }
+
+    #[test]
+    fn partial_shape_propagates() {
+        let k = straight_line();
+        let cfg = Cfg::build(&k);
+        let flow = analyze_masks(&k, &cfg, 0xff, &MaskFlowConfig::default());
+        assert_eq!(flow.per_pc[0], vec![AbstractMask::exact(0xff)]);
+    }
+
+    #[test]
+    fn divergent_branch_loses_certainty_but_not_bounds() {
+        // 0: setp  1: branch +3 (reconv 4)  2: add  3: add  4: add  5: exit
+        let mut b = KernelBuilder::new("div");
+        let pred = b.reg();
+        let src = b.reg();
+        let tmp = b.reg();
+        b.push(Instruction::Setp {
+            cmp: warped_isa::CmpOp::Lt,
+            ty: warped_isa::CmpType::U32,
+            dst: pred,
+            a: Operand::Reg(src),
+            b: Operand::Imm(4),
+        });
+        b.push(Instruction::Branch {
+            pred,
+            negate: false,
+            target: Pc(4),
+            reconv: Pc(4),
+        });
+        let add = Instruction::Bin {
+            op: AluBinOp::IAdd,
+            dst: tmp,
+            a: Operand::Imm(1),
+            b: Operand::Imm(1),
+        };
+        b.push(add);
+        b.push(add);
+        b.push(add);
+        b.push(Instruction::Exit);
+        let k = b.build().expect("valid kernel");
+        let cfg = Cfg::build(&k);
+        let flow = analyze_masks(&k, &cfg, u32::MAX, &MaskFlowConfig::default());
+        assert!(!flow.overflowed);
+        // Before the branch: exactly full.
+        assert_eq!(flow.per_pc[0], vec![AbstractMask::exact(u32::MAX)]);
+        // Inside the conditional body: the divergent path runs with an
+        // unknown submask, but a uniform fall-through keeps it full.
+        assert!(flow.per_pc[2].iter().any(|m| m.must == 0));
+        assert!(flow.per_pc[2]
+            .iter()
+            .all(|m| m.admits(1) || m == &AbstractMask::exact(u32::MAX)));
+        // At the reconvergence point everything is full again.
+        assert!(flow.per_pc[4].contains(&AbstractMask::exact(u32::MAX)));
+        // Every recorded mask admits some execution of the full warp.
+        for masks in &flow.per_pc {
+            for m in masks {
+                assert_eq!(m.must & !m.may, 0, "must ⊆ may violated");
+            }
+        }
+    }
+}

@@ -9,6 +9,14 @@ use crate::diag::{DataflowWarning, StructuralLint};
 use crate::predict::{BlockPressure, ExactPrediction};
 use std::fmt::Write as _;
 
+/// Version of the JSON report schema emitted by [`Analysis::to_json`].
+///
+/// Version 1 introduced the `schema_version` field itself and per-diagnostic
+/// pc spans (`span: {lo, hi}`, inclusive instruction indices) on every lint
+/// and warning. Consumers should reject reports with a version they do not
+/// understand.
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// Everything the analyzer derives from one kernel.
 #[derive(Debug, Clone)]
 pub struct Analysis {
@@ -142,7 +150,7 @@ impl Analysis {
         s.push('{');
         let _ = write!(
             s,
-            "\"kernel\":{},\"num_instrs\":{},\"clean\":{}",
+            "\"schema_version\":{SCHEMA_VERSION},\"kernel\":{},\"num_instrs\":{},\"clean\":{}",
             json_str(&self.name),
             self.num_instrs,
             self.is_clean(),
@@ -171,11 +179,14 @@ impl Analysis {
             if i > 0 {
                 s.push(',');
             }
+            let (lo, hi) = l.span();
             let _ = write!(
                 s,
-                "{{\"kind\":{},\"message\":{}}}",
+                "{{\"kind\":{},\"message\":{},\"span\":{{\"lo\":{},\"hi\":{}}}}}",
                 json_str(l.kind()),
                 json_str(&l.to_string()),
+                lo.0,
+                hi.0,
             );
         }
         s.push(']');
@@ -185,11 +196,14 @@ impl Analysis {
             if i > 0 {
                 s.push(',');
             }
+            let (lo, hi) = w.span();
             let _ = write!(
                 s,
-                "{{\"kind\":{},\"message\":{}}}",
+                "{{\"kind\":{},\"message\":{},\"span\":{{\"lo\":{},\"hi\":{}}}}}",
                 json_str(w.kind()),
                 json_str(&w.to_string()),
+                lo.0,
+                hi.0,
             );
         }
         s.push(']');

@@ -19,6 +19,9 @@
 //! warped profile   [--paper]      coverage sliced by warp utilization (§3.3)
 //! warped diagnose <bench>         inject a stuck-at fault, localize it (§3.4)
 //! warped analyze <bench> [--json]  static CFG/dataflow verifier + DMR cost
+//! warped certify <bench> [--depth N] [--json]
+//!                                 bounded model check of the Replay Checker
+//!                                 + static DMR coverage certificate
 //! warped disasm <bench>           disassemble a benchmark's kernel
 //! warped trace <bench> [--count N]  print the first N issued instructions
 //! warped trace <bench> --format jsonl|chrome [--out PATH] [--invariants]
@@ -51,12 +54,12 @@ use warped::{baselines, dmr, faults, isa, kernels, sim, trace};
 fn usage() -> &'static str {
     "usage: warped <figure1|figure5|figure8a|figure8b|figure9a|figure9b|figure10|figure11|\
      table1|config|faults|ablation|diagnose <benchmark>|analyze <benchmark>|\n\
-     disasm <benchmark>|trace <benchmark>|invariants|run <benchmark>|figures|\
-     campaign [<benchmark>]|bench|all>\n\
+     certify <benchmark>|disasm <benchmark>|trace <benchmark>|invariants|\
+     run <benchmark>|figures|campaign [<benchmark>]|bench|all>\n\
      options: [--paper|--quick] [--csv] [--json] [--trials N] [--count N]\n\
      \u{20}        [--threads N] [--seed N] [--check] [--format jsonl|chrome]\n\
      \u{20}        [--out PATH] [--invariants] [--site CLASS] [--checkpoint PATH]\n\
-     \u{20}        [--resume] [--fail-chunk CHUNK:ATTEMPTS]\n\
+     \u{20}        [--resume] [--fail-chunk CHUNK:ATTEMPTS] [--depth N]\n\
      benchmarks: BFS Nqueen MUM SCAN BitonicSort Laplace MatrixMul RadixSort SHA Libor CUFFT\n\
      fault sites: lane_transient lane_stuck comparator rfu_mux replayq_meta rf_slot"
 }
@@ -80,6 +83,7 @@ struct Args {
     checkpoint: Option<String>,
     resume: bool,
     fail_chunk: Option<(u32, u32)>,
+    depth: usize,
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -102,6 +106,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         checkpoint: None,
         resume: false,
         fail_chunk: None,
+        depth: warped::analysis::DEFAULT_DEPTH,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -144,6 +149,13 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
                 parsed.checkpoint = Some(args.next().ok_or("--checkpoint needs a value")?);
             }
             "--resume" => parsed.resume = true,
+            "--depth" => {
+                let v = args.next().ok_or("--depth needs a value")?;
+                parsed.depth = v.parse().map_err(|_| format!("bad depth {v}"))?;
+                if parsed.depth == 0 {
+                    return Err("--depth must be at least 1".to_string());
+                }
+            }
             "--fail-chunk" => {
                 let v = args.next().ok_or("--fail-chunk needs a value")?;
                 let (c, n) = v
@@ -285,6 +297,7 @@ fn run_command(args: &Args) -> Result<(), ExperimentError> {
             println!("(transient rate should track coverage; DMTR misses all stuck-at faults)");
         }
         "campaign" => return run_campaign(args, &cfg),
+        "certify" => return run_certify(args, &cfg),
         "figures" => {
             for cmd in [
                 "figure1", "figure5", "figure8a", "figure8b", "figure9a", "figure9b", "figure10",
@@ -601,6 +614,146 @@ fn run_campaign(args: &Args, cfg: &ExperimentConfig) -> Result<(), ExperimentErr
     Ok(())
 }
 
+/// `warped certify <bench> [--depth N] [--json]`: bounded model check of
+/// the Replay Checker (every issue/idle/done schedule up to `--depth`
+/// transitions, stepped differentially against an abstract model of
+/// Algorithm 1, checking invariants I1–I5 and model/implementation
+/// agreement) plus a static DMR coverage certificate for the
+/// benchmark's kernel (abstract interpretation of active masks over the
+/// CFG under the configured thread→core mapping). Exits non-zero when
+/// the model check finds a violation or the certified lower bound
+/// exceeds the simulator-measured coverage.
+fn run_certify(args: &Args, cfg: &ExperimentConfig) -> Result<(), ExperimentError> {
+    use warped::analysis::{self as an, InstrClass};
+    let bench = require_bench(args, "certify")?;
+    let w = bench.build(cfg.size)?;
+
+    let mc = an::model_check(&an::ModelCheckConfig {
+        depth: args.depth,
+        ..an::ModelCheckConfig::default()
+    });
+
+    let graph = an::Cfg::build(w.kernel());
+    let dmr_cfg = dmr::DmrConfig::default();
+    let cert = an::certify_coverage(
+        w.kernel(),
+        &graph,
+        &dmr_cfg,
+        w.block_threads(),
+        &an::MaskFlowConfig::default(),
+    );
+
+    let mut engine = dmr::WarpedDmr::new(dmr_cfg, &cfg.gpu);
+    let run = w.run_with(&cfg.gpu, &mut engine)?;
+    w.check(&run)?;
+    let measured = engine.report().coverage_pct();
+
+    const CLASSES: [InstrClass; 5] = [
+        InstrClass::InterVerified,
+        InstrClass::IntraVerifiable,
+        InstrClass::Unverifiable,
+        InstrClass::NoResult,
+        InstrClass::Unreachable,
+    ];
+    if args.json {
+        let caps: Vec<String> = mc
+            .per_capacity
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"capacity\":{},\"states\":{},\"transitions\":{}}}",
+                    c.capacity, c.states, c.transitions
+                )
+            })
+            .collect();
+        let classes: Vec<String> = CLASSES
+            .iter()
+            .map(|&c| format!("\"{}\":{}", c.tag(), cert.count(c)))
+            .collect();
+        println!(
+            "{{\"schema_version\":{},\"bench\":\"{bench}\",\
+             \"model\":{{\"depth\":{},\"states\":{},\"transitions\":{},\
+             \"violations\":{},\"truncated\":{},\"per_capacity\":[{}]}},\
+             \"coverage\":{{\"kernel\":\"{}\",\"shapes\":{},\"abstract_states\":{},\
+             \"overflowed\":{},\"classes\":{{{}}},\"bound_pct\":{:.4},\
+             \"measured_pct\":{:.4}}}}}",
+            an::SCHEMA_VERSION,
+            mc.depth,
+            mc.states(),
+            mc.transitions(),
+            mc.violations.len(),
+            mc.truncated,
+            caps.join(","),
+            cert.kernel,
+            cert.shapes.len(),
+            cert.states,
+            cert.overflowed,
+            classes.join(","),
+            cert.bound_pct,
+            measured,
+        );
+    } else {
+        heading(&format!(
+            "Certification of {bench} (model depth {})",
+            mc.depth
+        ));
+        println!("model check: Replay Checker vs Algorithm 1, invariants I1-I5");
+        for c in &mc.per_capacity {
+            println!(
+                "  ReplayQ capacity {}: {:>7} states, {:>9} transitions",
+                c.capacity, c.states, c.transitions
+            );
+        }
+        println!(
+            "  total: {} states, {} transitions, {} violation(s){}",
+            mc.states(),
+            mc.transitions(),
+            mc.violations.len(),
+            if mc.truncated {
+                "  (TRUNCATED by state budget)"
+            } else {
+                ""
+            }
+        );
+        for v in &mc.violations {
+            println!("{}", v.render());
+        }
+        println!(
+            "\nstatic coverage certificate ({} warp shape(s), {} abstract states{}):",
+            cert.shapes.len(),
+            cert.states,
+            if cert.overflowed {
+                ", widened after budget overflow"
+            } else {
+                ""
+            }
+        );
+        for &class in &CLASSES {
+            println!("  {:<13} {:>4} instr", class.tag(), cert.count(class));
+        }
+        println!("  certified coverage lower bound: {:.2}%", cert.bound_pct);
+        println!(
+            "  measured coverage ({:?} scale):  {:.2}%",
+            cfg.size, measured
+        );
+    }
+
+    if !mc.violations.is_empty() {
+        return Err(ExperimentError::Invariant(format!(
+            "{bench}: model check found {} violation(s) at depth {}",
+            mc.violations.len(),
+            mc.depth
+        )));
+    }
+    if cert.bound_pct > measured + 1e-9 {
+        return Err(ExperimentError::Invariant(format!(
+            "{bench}: certified bound {:.4}% exceeds measured coverage {:.4}%",
+            cert.bound_pct, measured
+        )));
+    }
+    Ok(())
+}
+
 /// `warped trace <bench> --format jsonl|chrome [--out PATH]
 /// [--invariants]`: record the full cycle-level event stream of one
 /// traced run, optionally check the Algorithm-1 invariants over it, and
@@ -811,6 +964,20 @@ mod tests {
         assert!(parse(&["campaign", "--checkpoint"]).is_err());
         assert!(parse(&["campaign", "--fail-chunk", "3"]).is_err());
         assert!(parse(&["campaign", "--fail-chunk", "a:b"]).is_err());
+    }
+
+    #[test]
+    fn certify_flags_parse() {
+        let a = parse(&["certify", "MatrixMul", "--depth", "5", "--json"]).unwrap();
+        assert_eq!(a.command, "certify");
+        assert_eq!(a.bench.as_deref(), Some("MatrixMul"));
+        assert_eq!(a.depth, 5);
+        assert!(a.json);
+        let b = parse(&["certify", "SCAN"]).unwrap();
+        assert_eq!(b.depth, warped::analysis::DEFAULT_DEPTH);
+        assert!(parse(&["certify", "SCAN", "--depth"]).is_err());
+        assert!(parse(&["certify", "SCAN", "--depth", "x"]).is_err());
+        assert!(parse(&["certify", "SCAN", "--depth", "0"]).is_err());
     }
 
     #[test]

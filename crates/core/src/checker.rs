@@ -117,8 +117,33 @@ impl CheckerStats {
     }
 }
 
+/// One unverified obligation as seen from outside the checker: either
+/// the RF-slot instruction (`prev`) or a buffered ReplayQ entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotSnapshot {
+    /// Issuing warp (global uid).
+    pub warp_uid: u64,
+    /// Unit type the obligation occupies.
+    pub unit: UnitType,
+    /// Destination register, if any (RAW rule).
+    pub dst: Option<Reg>,
+    /// Issue cycle of the obligation.
+    pub cycle: u64,
+}
+
+/// The checker's externally observable verification state: what is still
+/// unverified and in which order. Used by `warped-analysis` to step its
+/// abstract Algorithm 1 model differentially against this implementation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckerSnapshot {
+    /// The RF-slot instruction awaiting a verification opportunity.
+    pub prev: Option<SlotSnapshot>,
+    /// Buffered entries, oldest first.
+    pub queue: Vec<SlotSnapshot>,
+}
+
 /// Per-SM Replay Checker state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReplayChecker {
     queue: ReplayQ,
     prev: Option<ReplayEntry>,
@@ -157,6 +182,22 @@ impl ReplayChecker {
     /// Current queue occupancy (diagnostics).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Observable verification state: the RF slot plus the buffered
+    /// queue, oldest first. Drives the differential model checker in
+    /// `warped-analysis`.
+    pub fn snapshot(&self) -> CheckerSnapshot {
+        let slot = |e: &ReplayEntry| SlotSnapshot {
+            warp_uid: e.warp_uid,
+            unit: e.unit,
+            dst: e.dst,
+            cycle: e.cycle,
+        };
+        CheckerSnapshot {
+            prev: self.prev.as_ref().map(slot),
+            queue: self.queue.iter().map(slot).collect(),
+        }
     }
 
     /// Whether any instruction of `warp_uid` is still unverified (pending

@@ -256,15 +256,29 @@ impl Instruction {
     /// Control instructions execute on the SP datapath, matching the paper's
     /// three-way SP / SFU / LD-ST classification.
     pub fn unit(&self) -> UnitType {
+        // Deny-by-default: every variant is matched explicitly so a new
+        // opcode fails to compile until its unit is classified.
         match self {
             Instruction::Sfu { .. } => UnitType::Sfu,
             Instruction::Ld { .. } | Instruction::St { .. } => UnitType::LdSt,
-            _ => UnitType::Sp,
+            Instruction::Bin { .. }
+            | Instruction::Un { .. }
+            | Instruction::IMad { .. }
+            | Instruction::FFma { .. }
+            | Instruction::Setp { .. }
+            | Instruction::Sel { .. }
+            | Instruction::Branch { .. }
+            | Instruction::Jump { .. }
+            | Instruction::Bar
+            | Instruction::Exit => UnitType::Sp,
         }
     }
 
     /// The destination register written by this instruction, if any.
     pub fn dst(&self) -> Option<Reg> {
+        // Deny-by-default: adding a variant forces a decision here, so
+        // the dataflow pass and the RAW rule can never silently miss a
+        // new opcode's definition.
         match *self {
             Instruction::Bin { dst, .. }
             | Instruction::Un { dst, .. }
@@ -274,7 +288,11 @@ impl Instruction {
             | Instruction::Sel { dst, .. }
             | Instruction::Sfu { dst, .. }
             | Instruction::Ld { dst, .. } => Some(dst),
-            _ => None,
+            Instruction::St { .. }
+            | Instruction::Branch { .. }
+            | Instruction::Jump { .. }
+            | Instruction::Bar
+            | Instruction::Exit => None,
         }
     }
 

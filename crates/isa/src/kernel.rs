@@ -126,7 +126,9 @@ impl Kernel {
 
     /// Deduplicated registers read by the instruction at `pc`, in operand
     /// order. Empty when `pc` is past the end or the instruction reads no
-    /// registers.
+    /// registers. Backed by [`Instruction::src_regs`], whose per-variant
+    /// match is exhaustive: a new opcode cannot compile without declaring
+    /// its use set.
     pub fn reads(&self, pc: Pc) -> Vec<Reg> {
         let mut out = Vec::new();
         if let Some(instr) = self.fetch(pc) {
@@ -141,7 +143,9 @@ impl Kernel {
 
     /// Registers written by the instruction at `pc` (at most one in this
     /// ISA). Empty when `pc` is past the end or the instruction writes no
-    /// register.
+    /// register. Backed by [`Instruction::dst`], whose per-variant match
+    /// is exhaustive: a new opcode cannot compile without declaring its
+    /// def set.
     pub fn writes(&self, pc: Pc) -> Vec<Reg> {
         self.fetch(pc)
             .and_then(Instruction::dst)

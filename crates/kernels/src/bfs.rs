@@ -195,6 +195,10 @@ impl Program for Bfs {
         &self.kernel
     }
 
+    fn block_threads(&self) -> u32 {
+        self.block_size
+    }
+
     fn footprint(&self) -> Footprint {
         Footprint {
             input_words: (self.row_offsets.len() + self.col_indices.len() + 3 * self.nodes as usize)

@@ -281,6 +281,10 @@ impl Program for Fft {
         &self.kernel
     }
 
+    fn block_threads(&self) -> u32 {
+        self.block_size
+    }
+
     fn footprint(&self) -> Footprint {
         Footprint {
             input_words: 2 * self.re.len() as u64,

@@ -158,6 +158,10 @@ impl Program for Laplace {
         &self.kernel
     }
 
+    fn block_threads(&self) -> u32 {
+        32 * 4
+    }
+
     fn footprint(&self) -> Footprint {
         Footprint {
             input_words: self.input.len() as u64,

@@ -158,6 +158,10 @@ impl Program for Libor {
         &self.kernel
     }
 
+    fn block_threads(&self) -> u32 {
+        self.block_size
+    }
+
     fn footprint(&self) -> Footprint {
         Footprint {
             input_words: 0,

@@ -168,6 +168,10 @@ impl Program for MatrixMul {
         &self.kernel
     }
 
+    fn block_threads(&self) -> u32 {
+        (TILE * TILE) as u32
+    }
+
     fn footprint(&self) -> Footprint {
         let nn = (self.n * self.n) as u64;
         Footprint {

@@ -156,6 +156,10 @@ impl Program for Mum {
         &self.kernel
     }
 
+    fn block_threads(&self) -> u32 {
+        self.block_size
+    }
+
     fn footprint(&self) -> Footprint {
         Footprint {
             input_words: (self.reference_text.len() + self.queries.len() + self.positions.len())

@@ -302,6 +302,10 @@ impl Program for NQueen {
         &self.kernel
     }
 
+    fn block_threads(&self) -> u32 {
+        self.block_size
+    }
+
     fn footprint(&self) -> Footprint {
         Footprint {
             input_words: 0,

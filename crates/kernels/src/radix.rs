@@ -178,6 +178,10 @@ impl Program for RadixSort {
         &self.kernel
     }
 
+    fn block_threads(&self) -> u32 {
+        self.block_size
+    }
+
     fn footprint(&self) -> Footprint {
         Footprint {
             input_words: self.input.len() as u64,

@@ -233,6 +233,10 @@ impl Program for Sha {
         &self.kernel
     }
 
+    fn block_threads(&self) -> u32 {
+        self.block_size
+    }
+
     fn footprint(&self) -> Footprint {
         Footprint {
             input_words: self.input.len() as u64,

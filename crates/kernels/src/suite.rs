@@ -51,6 +51,12 @@ pub trait Program {
     /// The (single) device kernel this program launches, for disassembly
     /// and tracing.
     fn kernel(&self) -> &warped_isa::Kernel;
+
+    /// Threads per block of every launch this program performs (all
+    /// suite programs use a fixed block geometry). Determines the warp
+    /// shapes — full warps plus at most one partial tail warp — that
+    /// static coverage certification must account for.
+    fn block_threads(&self) -> u32;
 }
 
 /// The result of executing a [`Workload`].
@@ -309,6 +315,11 @@ impl Workload {
     /// The device kernel, for disassembly (`warped disasm`) and tracing.
     pub fn kernel(&self) -> &warped_isa::Kernel {
         self.inner.kernel()
+    }
+
+    /// Threads per block of every launch (fixed per program).
+    pub fn block_threads(&self) -> u32 {
+        self.inner.block_threads()
     }
 }
 

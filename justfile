@@ -16,6 +16,13 @@ build:
 analyze bench:
     cargo run -q -p warped-cli -- analyze {{bench}}
 
+# Certification: bounded model check of the Replay Checker (Algorithm 1,
+# invariants I1-I5) plus the static DMR coverage certificate for one
+# benchmark kernel, e.g. `just certify MatrixMul` or
+# `just certify SHA depth=5`.
+certify bench depth="7":
+    cargo run -q --release -p warped-cli -- certify {{bench}} --depth {{depth}}
+
 # Record a full cycle-level event trace of one benchmark (JSONL), check
 # the Algorithm-1 invariants over it, e.g. `just trace SCAN`.
 trace bench out="trace.jsonl":

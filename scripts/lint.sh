@@ -17,4 +17,11 @@ cargo run -q -p warped-cli -- invariants --check
 # Campaign resilience smoke: forced-panic retry and checkpoint resume
 # must reproduce an undisturbed campaign byte-for-byte.
 ./scripts/campaign_smoke.sh
+
+# Certification gate: model-check the Replay Checker against Algorithm 1
+# (invariants I1-I5) and verify the static coverage bound against a
+# measured run, for one uniform and one divergent suite kernel. The
+# command exits non-zero on any violation or unsound bound.
+cargo run -q -p warped-cli -- certify SHA --depth 6 > /dev/null
+cargo run -q -p warped-cli -- certify BitonicSort --depth 6 > /dev/null
 echo "lint: clean"

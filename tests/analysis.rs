@@ -4,9 +4,11 @@
 
 use warped::analysis::{analyze, is_straight_line, predict_exact, PredictConfig};
 use warped::dmr::{DmrConfig, WarpedDmr};
+use warped::isa::UnitType;
 use warped::isa::{Kernel, KernelBuilder};
 use warped::kernels::{Benchmark, WorkloadSize};
 use warped::sim::{Gpu, GpuConfig, LaunchConfig};
+use warped::trace::{CollectSink, TraceEvent, TraceHandle};
 
 fn predict_config(gpu: &GpuConfig) -> PredictConfig {
     PredictConfig {
@@ -178,6 +180,89 @@ fn per_block_pressure_covers_all_reachable_blocks() {
         .map(|b| b.end - b.start)
         .sum();
     assert_eq!(counted, total);
+}
+
+#[test]
+fn bitonic_block_pressure_is_pinned_and_trace_consistent() {
+    // Regression pin for the per-block ReplayQ pressure of a branchy
+    // suite kernel: BitonicSort's sort network is all divergent
+    // compare-exchange blocks, the worst case for the per-visit bound.
+    let w = Benchmark::BitonicSort.build(WorkloadSize::Tiny).unwrap();
+    let a = analyze(w.kernel(), &PredictConfig::default());
+    assert_eq!(a.pressure.len(), 85, "reachable block count drifted");
+
+    let pin = |id: usize| {
+        a.pressure
+            .iter()
+            .find(|p| p.block == id)
+            .unwrap_or_else(|| panic!("no pressure row for b{id}"))
+    };
+    // Entry block: the index setup then the first load/compare mix.
+    let b0 = pin(0);
+    assert_eq!(
+        (b0.instrs, b0.peak_queue, b0.eager_stalls, b0.raw_stalls),
+        (10, 1, 0, 5)
+    );
+    assert_eq!(
+        b0.runs,
+        vec![
+            (UnitType::Sp, 3),
+            (UnitType::LdSt, 1),
+            (UnitType::Sp, 1),
+            (UnitType::LdSt, 1),
+            (UnitType::Sp, 4),
+        ]
+    );
+    // Compare-exchange body: the long SP tail is what fills the queue.
+    let b1 = pin(1);
+    assert_eq!(
+        (b1.instrs, b1.peak_queue, b1.eager_stalls, b1.raw_stalls),
+        (9, 2, 0, 6)
+    );
+    // Swap arm (pure LD/ST) and reconverged increment (pure SP): single
+    // same-unit runs never grow the queue past the co-execute slot.
+    let b2 = pin(2);
+    assert_eq!((b2.instrs, b2.peak_queue, b2.raw_stalls), (2, 1, 0));
+    let b3 = pin(3);
+    assert_eq!((b3.instrs, b3.peak_queue, b3.raw_stalls), (4, 0, 2));
+    let max_peak = a.pressure.iter().map(|p| p.peak_queue).max().unwrap();
+    assert_eq!(max_peak, 2, "densest per-visit occupancy bound drifted");
+
+    // Cross-check against a traced simulator run: the cycle-level event
+    // stream must agree with the live checker counters, every enqueue
+    // must respect the configured capacity, and the multi-warp
+    // high-water must dominate the static single-visit peak (warps
+    // share the per-SM queue, so real occupancy only stacks higher).
+    let gpu = GpuConfig::small();
+    let mut engine = WarpedDmr::new(DmrConfig::default(), &gpu);
+    let (collector, handle) = TraceHandle::shared(CollectSink::new());
+    engine.set_trace(handle.clone());
+    let run = w.run_traced(&gpu, &mut engine, handle).unwrap();
+    w.check(&run).unwrap();
+    let events = collector.lock().unwrap().take();
+    let report = engine.report();
+
+    let mut enqueues = 0u64;
+    let mut max_depth = 0u32;
+    for ev in &events {
+        if let TraceEvent::Enqueue {
+            depth, capacity, ..
+        } = ev
+        {
+            enqueues += 1;
+            max_depth = max_depth.max(*depth);
+            assert!(depth <= capacity, "queue overflowed: {ev:?}");
+        }
+    }
+    assert_eq!(enqueues, report.checker.enqueued, "trace lost enqueues");
+    assert_eq!(
+        max_depth as usize, report.checker.max_queue,
+        "trace high-water diverges from the live counter"
+    );
+    assert!(
+        max_depth as usize >= max_peak,
+        "measured high-water {max_depth} below static per-visit peak {max_peak}"
+    );
 }
 
 #[test]

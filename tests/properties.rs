@@ -199,3 +199,124 @@ proptest! {
         }
     }
 }
+
+/// One instruction of any non-`Exit` variant, decoded from 64 random
+/// bits. Control flow always targets the next instruction so every pc
+/// stays reachable and the generated kernel validates.
+fn decode_instr(w: u64, pc: usize, regs: &[Reg]) -> warped::isa::Instruction {
+    use warped::isa::{AluBinOp, AluUnOp, CmpOp, CmpType, Instruction, Operand, Pc, SfuOp, Space};
+    let r = |k: u32| regs[((w >> (4 * k)) & 7) as usize];
+    let ro = |k: u32| Operand::Reg(r(k));
+    let next = Pc((pc + 1) as u32);
+    match w % 12 {
+        0 => Instruction::Bin {
+            op: AluBinOp::IAdd,
+            dst: r(1),
+            a: ro(2),
+            b: Operand::Imm((w >> 32) as u32),
+        },
+        1 => Instruction::Un {
+            op: AluUnOp::Mov,
+            dst: r(1),
+            a: ro(2),
+        },
+        2 => Instruction::IMad {
+            dst: r(1),
+            a: ro(2),
+            b: ro(3),
+            c: ro(4),
+        },
+        3 => Instruction::FFma {
+            dst: r(1),
+            a: ro(2),
+            b: ro(3),
+            c: ro(4),
+        },
+        4 => Instruction::Setp {
+            cmp: CmpOp::Lt,
+            ty: CmpType::U32,
+            dst: r(1),
+            a: ro(2),
+            b: ro(3),
+        },
+        5 => Instruction::Sel {
+            dst: r(1),
+            cond: ro(2),
+            if_true: ro(3),
+            if_false: ro(4),
+        },
+        6 => Instruction::Sfu {
+            op: SfuOp::Sin,
+            dst: r(1),
+            a: ro(2),
+        },
+        7 => Instruction::Ld {
+            space: Space::Shared,
+            dst: r(1),
+            addr: ro(2),
+            offset: 0,
+        },
+        8 => Instruction::St {
+            space: Space::Shared,
+            addr: ro(1),
+            offset: 0,
+            src: ro(2),
+        },
+        9 => Instruction::Branch {
+            pred: r(1),
+            negate: w & 16 != 0,
+            target: next,
+            reconv: next,
+        },
+        10 => Instruction::Jump { target: next },
+        _ => Instruction::Bar,
+    }
+}
+
+proptest! {
+    /// Def/use consistency between the ISA and the dataflow pass, over
+    /// every `Instruction` variant: the reaching-definition pass records
+    /// exactly the writes the ISA declares (`Instruction::dst`, surfaced
+    /// as `Kernel::writes`), and every recorded use reads the defined
+    /// register (`Instruction::src_regs` / `Kernel::reads`).
+    #[test]
+    fn instruction_def_use_consistent_with_dataflow(
+        words in proptest::collection::vec(any::<u64>(), 1..24)
+    ) {
+        use warped::analysis::{def_use, Cfg};
+        use warped::isa::{Instruction, KernelBuilder, Pc};
+
+        let mut b = KernelBuilder::new("prop-defuse");
+        let regs: Vec<Reg> = (0..8).map(|_| b.reg()).collect();
+        for (i, w) in words.iter().enumerate() {
+            b.push(decode_instr(*w, i, &regs));
+        }
+        b.push(Instruction::Exit);
+        let k = b.build().expect("generated kernel validates");
+
+        let cfg = Cfg::build(&k);
+        let du = def_use(&k, &cfg);
+
+        let mut got: Vec<(u32, u16)> = du.defs.iter().map(|d| (d.pc.0, d.reg.0)).collect();
+        got.sort_unstable();
+        let mut expected: Vec<(u32, u16)> = (0..k.code().len())
+            .filter_map(|pc| {
+                let pc = Pc(pc as u32);
+                k.writes(pc).first().map(|r| (pc.0, r.0))
+            })
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected, "dataflow defs != declared writes");
+
+        for (i, d) in du.defs.iter().enumerate() {
+            for pc in &du.uses[i] {
+                prop_assert!(
+                    k.reads(*pc).contains(&d.reg),
+                    "use of r{} at pc {} not in the ISA read set",
+                    d.reg.0,
+                    pc.0
+                );
+            }
+        }
+    }
+}
